@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks operate at the ``tiny`` scale so the whole harness finishes
+in about a minute; pass ``--scale`` knobs through the experiments CLI
+for paper-shape runs (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import core, topology
+from repro.experiments import make_context
+
+
+@pytest.fixture(scope="session")
+def bench_topo():
+    return topology.generate_topology(topology.TopologyParams(n=600, seed=2013))
+
+
+@pytest.fixture(scope="session")
+def bench_graph(bench_topo):
+    return bench_topo.graph
+
+
+@pytest.fixture(scope="session")
+def bench_ctx(bench_graph):
+    return core.RoutingContext(bench_graph)
+
+
+@pytest.fixture(scope="session")
+def bench_tiers(bench_graph):
+    return topology.classify_tiers(bench_graph)
+
+
+@pytest.fixture(scope="session")
+def bench_pair(bench_graph, bench_tiers):
+    """A fixed (attacker, destination) pair: Tier-2 attacks a CP."""
+    attacker = bench_tiers.members(topology.Tier.TIER2)[0]
+    destination = bench_tiers.members(topology.Tier.CP)[0]
+    return attacker, destination
+
+
+@pytest.fixture(scope="session")
+def bench_deployment(bench_graph, bench_tiers):
+    return core.tier12_rollout(bench_graph, bench_tiers)[-1].deployment
+
+
+@pytest.fixture(scope="session")
+def experiment_context():
+    """Tiny-scale experiment context shared by the per-figure benches."""
+    return make_context(scale="tiny", seed=2013)

@@ -1,0 +1,125 @@
+"""Microbenchmarks for the core engines.
+
+These time the primitives every experiment is built from: one routing
+computation is the unit the paper parallelized over (Appendix H), so
+`routing_outcome_*` governs the cost of every figure.
+"""
+
+from repro import core, topology
+from repro.bgpsim import BGPSimulator, PolicyAssignment
+
+
+def test_routing_outcome_baseline(benchmark, bench_ctx, bench_pair):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.compute_routing_outcome, bench_ctx, destination, attacker
+    )
+    assert result.num_sources > 0
+
+
+def test_routing_outcome_security_second(
+    benchmark, bench_ctx, bench_pair, bench_deployment
+):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.compute_routing_outcome,
+        bench_ctx,
+        destination,
+        attacker,
+        bench_deployment,
+        core.SECURITY_SECOND,
+    )
+    assert result.count_happy()[0] >= 0
+
+
+def test_routing_context_build(benchmark, bench_graph):
+    ctx = benchmark(core.RoutingContext, bench_graph)
+    assert len(ctx.asns) == len(bench_graph)
+
+
+def test_perceivable_closures(benchmark, bench_ctx, bench_pair):
+    attacker, destination = bench_pair
+    closures = benchmark(core.attack_closures, bench_ctx, attacker, destination)
+    assert closures.legitimate.any()
+
+
+def test_partitions_security_third(benchmark, bench_ctx, bench_pair):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.compute_partitions, bench_ctx, attacker, destination,
+        core.SECURITY_THIRD,
+    )
+    assert result.counts().total > 0
+
+
+def test_partitions_security_first(benchmark, bench_ctx, bench_pair):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.compute_partitions, bench_ctx, attacker, destination,
+        core.SECURITY_FIRST,
+    )
+    assert result.counts().total > 0
+
+
+def test_downgrade_analysis(benchmark, bench_ctx, bench_pair, bench_deployment):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.downgrade_analysis, bench_ctx, attacker, destination,
+        bench_deployment, core.SECURITY_THIRD,
+    )
+    assert result.secure_normal is not None
+
+
+def test_pair_root_cause(benchmark, bench_ctx, bench_pair, bench_deployment):
+    attacker, destination = bench_pair
+    result = benchmark(
+        core.pair_root_cause, bench_ctx, attacker, destination,
+        bench_deployment, core.SECURITY_THIRD,
+    )
+    assert result.metric_change == result.gains - result.losses
+
+
+def test_simulator_convergence(benchmark, bench_graph, bench_pair, bench_deployment):
+    attacker, destination = bench_pair
+
+    def run_sim():
+        sim = BGPSimulator(
+            bench_graph,
+            destination,
+            deployment=bench_deployment,
+            policies=PolicyAssignment.uniform(core.SECURITY_SECOND),
+            attacker=attacker,
+        )
+        return sim.run()
+
+    report = benchmark(run_sim)
+    assert report.converged
+
+
+def test_topology_generation(benchmark):
+    topo = benchmark(
+        topology.generate_topology, topology.TopologyParams(n=400, seed=1)
+    )
+    assert len(topo.graph) == 400
+
+
+def test_tier_classification(benchmark, bench_graph):
+    tiers = benchmark(topology.classify_tiers, bench_graph)
+    assert tiers.members(topology.Tier.TIER1)
+
+
+def test_ixp_augmentation(benchmark, bench_topo):
+    result = benchmark(
+        topology.augment_with_ixp_peering, bench_topo.graph, bench_topo.ixp_members
+    )
+    assert result.added_count >= 0
+
+
+def test_serial2_roundtrip(benchmark, bench_graph):
+    def roundtrip():
+        return topology.parse_serial2(
+            topology.dumps_serial2(bench_graph).splitlines()
+        )
+
+    parsed = benchmark(roundtrip)
+    assert len(parsed) == len(bench_graph)

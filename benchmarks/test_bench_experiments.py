@@ -1,0 +1,30 @@
+"""One benchmark per paper table/figure.
+
+Each benchmark regenerates its experiment end to end at the ``tiny``
+scale (single round — these are second-scale workloads, not
+microbenchmarks).  The assertion keeps every run honest: the experiment
+must produce data rows, so a timing without a reproduction cannot pass.
+"""
+
+import pytest
+
+from repro.experiments import all_experiments
+
+
+def _run_once(benchmark, experiment_context, experiment_id):
+    spec = all_experiments()[experiment_id]
+    # fresh cache per benchmark so shared sweeps are *included* in the
+    # first figure that needs them, mirroring a cold reproduction run.
+    result = benchmark.pedantic(
+        spec.run, args=(experiment_context,), rounds=1, iterations=1
+    )
+    assert result.rows or result.text
+    return result
+
+
+@pytest.mark.parametrize(
+    "experiment_id",
+    sorted(all_experiments()),
+)
+def test_experiment(benchmark, experiment_context, experiment_id):
+    _run_once(benchmark, experiment_context, experiment_id)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Collateral benefits and damages: security is not monotonic (Section 6).
+
+Replays the paper's Figures 14, 15 and 17 on their gadget topologies and
+then verifies the Table 3 phenomena matrix: deploying S*BGP at *some*
+ASes can flip *other, insecure* ASes from happy to unhappy (collateral
+damage) or the reverse (collateral benefit), depending on the model.
+
+Run:  python examples/collateral_phenomena.py
+"""
+
+from repro import core
+from repro.topology import gadgets
+
+
+def replay(gadget, model: core.RankModel) -> core.PairRootCause:
+    return core.pair_root_cause(
+        gadget.graph,
+        gadget.attacker,
+        gadget.destination,
+        core.Deployment.of(gadget.secure),
+        model,
+    )
+
+
+def main() -> None:
+    print("=== Figure 14 (security 2nd): damage AND benefit at once ===")
+    fig14 = gadgets.figure14_collateral()
+    rootcause = replay(fig14, core.SECURITY_SECOND)
+    for asn in sorted(rootcause.collateral_damage):
+        print(f"  AS {asn}: collateral DAMAGE — {fig14.roles.get(asn, '')}")
+    for asn in sorted(rootcause.collateral_benefit):
+        print(f"  AS {asn}: collateral benefit — {fig14.roles.get(asn, '')}")
+    print(
+        f"  accounting: ΔH = {rootcause.metric_change:+d} happy sources "
+        f"(gains {rootcause.gains}, losses {rootcause.losses})"
+    )
+
+    print("\n=== Figure 15 (security 3rd): benefit only — Theorem 6.1 ===")
+    fig15 = gadgets.figure15_collateral_benefit()
+    rootcause = replay(fig15, core.SECURITY_THIRD)
+    print(f"  benefits: {sorted(rootcause.collateral_benefit)}")
+    print(f"  damages:  {sorted(rootcause.collateral_damage)} (always empty)")
+
+    print("\n=== Figure 17 (security 1st): even the safest model damages ===")
+    fig17 = gadgets.figure17_collateral_damage_sec1st()
+    rootcause = replay(fig17, core.SECURITY_FIRST)
+    print(f"  damages: {sorted(rootcause.collateral_damage)}")
+    print("  (Optus switched to a secure *provider* route, which Ex forbids")
+    print("   exporting to its peer AS 4805 — stranding it on the bogus route.)")
+
+    print("\n=== Table 3: phenomenon x model possibilities ===")
+    names = {
+        "protocol_downgrade": "protocol downgrade",
+        "collateral_benefit": "collateral benefit",
+        "collateral_damage": "collateral damage",
+    }
+    header = f"  {'phenomenon':22s}" + "".join(
+        f"{m.label:>16s}" for m in core.SECURITY_MODELS
+    )
+    print(header)
+    for key, name in names.items():
+        cells = []
+        for model in core.SECURITY_MODELS:
+            possible = core.PHENOMENA_POSSIBLE[model.model][key]
+            cells.append(f"{'yes' if possible else 'no':>16s}")
+        print(f"  {name:22s}" + "".join(cells))
+
+
+if __name__ == "__main__":
+    main()

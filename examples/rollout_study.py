@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""A partial-deployment rollout study (the Figure 7(a) experiment).
+
+Secures growing sets of Tier 1/Tier 2 ISPs (plus their stubs), measures
+the security metric against the origin-authentication baseline for each
+security model, and prints the resulting curves — the paper's "is the
+juice worth the squeeze" picture.
+
+Run:  python examples/rollout_study.py [--scale small] [--processes 2]
+"""
+
+import argparse
+
+from repro.experiments import make_context
+from repro.experiments.exp_rollouts import run_fig7a, run_fig11
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", help="tiny/small/medium/large")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--processes", type=int, default=1)
+    args = parser.parse_args()
+
+    ectx = make_context(scale=args.scale, seed=args.seed, processes=args.processes)
+    print(
+        f"graph: {ectx.graph}; securing Tier 1s + Tier 2s + their stubs\n"
+    )
+    result = run_fig7a(ectx)
+    print(result.render())
+
+    print("\nAnd the Tier 2-only rollout the paper recommends instead (§5.3.1):\n")
+    print(run_fig11(ectx).render())
+
+    print(
+        "Reading: each band is [tiebreak-adversarial, tiebreak-friendly]"
+        "\nimprovement over H(∅). Security 1st is the only model whose"
+        "\njuice clearly justifies the squeeze — and it is the placement"
+        "\noperators say they are least likely to use (10% vs 41% for 3rd)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""repro — reproduction of Lychev, Goldberg & Schapira (SIGCOMM 2013),
+"BGP Security in Partial Deployment: Is the Juice Worth the Squeeze?".
+
+Public API layout:
+
+* :mod:`repro.topology` — AS graph, tiers, synthetic generator, CAIDA
+  serial-2 I/O, IXP augmentation, the paper's example gadgets;
+* :mod:`repro.core` — routing models, the partial-deployment S*BGP
+  routing algorithm, the security metric, partitions, downgrades,
+  root-cause analysis, deployment scenarios, NP-hardness machinery;
+* :mod:`repro.bgpsim` — message-passing BGP simulator (wedgies,
+  cross-validation);
+* :mod:`repro.experiments` — the benchmark harness regenerating every
+  table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import topology, core
+
+    topo = topology.generate_topology(topology.TopologyParams(n=1000))
+    tiers = topology.classify_tiers(topo.graph)
+    ctx = core.RoutingContext(topo.graph)
+    deployment = core.tier12_rollout(topo.graph, tiers)[-1].deployment
+    outcome = core.compute_routing_outcome(
+        ctx, destination=topo.graph.asns[0], attacker=topo.graph.asns[-1],
+        deployment=deployment, model=core.SECURITY_SECOND,
+    )
+    print(outcome.count_happy())
+"""
+
+from . import bgpsim, core, topology
+
+__version__ = "1.0.0"
+
+__all__ = ["topology", "core", "bgpsim", "__version__"]

@@ -1,0 +1,13 @@
+"""Message-passing BGP/S*BGP simulator (cross-validation + wedgies)."""
+
+from .policy import PolicyAssignment
+from .route import Announcement
+from .simulator import BGPSimulator, ConvergenceError, ConvergenceReport
+
+__all__ = [
+    "Announcement",
+    "PolicyAssignment",
+    "BGPSimulator",
+    "ConvergenceError",
+    "ConvergenceReport",
+]

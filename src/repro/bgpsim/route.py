@@ -1,0 +1,46 @@
+"""Announcements exchanged by the message-passing BGP simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Announcement:
+    """A BGP (or S*BGP) route announcement as received from a neighbor.
+
+    Attributes:
+        path: the announced AS path, next hop first, origin last.  The
+            attacker's bogus announcement is ``(m, d)`` — it *claims* the
+            destination as its last hop, making the path one hop longer
+            than the truth (Section 3.1).
+        signed: True if the announcement was carried via S*BGP by every
+            AS on the path (BGPSEC semantics: one legacy hop downgrades
+            the rest of the propagation to legacy BGP).
+    """
+
+    path: tuple[int, ...]
+    signed: bool
+
+    @property
+    def length(self) -> int:
+        """AS-path length used by the ``SP`` step."""
+        return len(self.path)
+
+    @property
+    def head(self) -> int:
+        """The neighbor that sent the announcement."""
+        return self.path[0]
+
+    def extended_by(self, asn: int, signs: bool) -> "Announcement":
+        """The announcement ``asn`` would propagate onward.
+
+        Args:
+            asn: the AS prepending itself.
+            signs: whether ``asn`` participates in S*BGP signing.
+        """
+        return Announcement(path=(asn,) + self.path, signed=self.signed and signs)
+
+    def contains(self, asn: int) -> bool:
+        """Loop detection: is ``asn`` already on the path?"""
+        return asn in self.path

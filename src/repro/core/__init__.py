@@ -1,0 +1,137 @@
+"""The paper's primary contribution: partial-deployment S*BGP analysis."""
+
+from .rank import (
+    BASELINE,
+    CLASSIC_LP,
+    LP2,
+    SECURITY_FIRST,
+    SECURITY_MODELS,
+    SECURITY_SECOND,
+    SECURITY_THIRD,
+    SURVEY_POPULARITY,
+    LocalPreference,
+    RankModel,
+    SecurityModel,
+    lp2_variant,
+)
+from .deployment import (
+    Deployment,
+    RolloutStep,
+    ScenarioCatalog,
+    nonstub_deployment,
+    stubs_of,
+    tier12_rollout,
+    tier1_and_stubs,
+    tier2_rollout,
+    top_tier2_and_stubs,
+)
+from .routing import (
+    Reach,
+    RouteInfo,
+    RoutingContext,
+    RoutingOutcome,
+    compute_routing_outcome,
+    normal_conditions,
+)
+from .perceivable import (
+    AttackCloseures,
+    ClassReach,
+    attack_closures,
+    perceivable_closures,
+)
+from .partitions import Category, PartitionCounts, PartitionResult, compute_partitions
+from .metrics import (
+    AttackHappiness,
+    Interval,
+    MetricResult,
+    attack_happiness,
+    metric_for_destination,
+    metric_improvement,
+    security_metric,
+)
+from .downgrade import (
+    DowngradeAnalysis,
+    SecureRouteFate,
+    downgrade_analysis,
+    secure_route_fate,
+)
+from .rootcause import (
+    PHENOMENA_POSSIBLE,
+    PairRootCause,
+    RootCauseBreakdown,
+    pair_root_cause,
+    root_cause_breakdown,
+)
+from .hardness import (
+    ReductionInstance,
+    build_set_cover_reduction,
+    count_happy_lower,
+    greedy_max_k_security,
+    max_k_security_bruteforce,
+)
+
+__all__ = [
+    # rank
+    "RankModel",
+    "SecurityModel",
+    "LocalPreference",
+    "BASELINE",
+    "SECURITY_FIRST",
+    "SECURITY_SECOND",
+    "SECURITY_THIRD",
+    "SECURITY_MODELS",
+    "CLASSIC_LP",
+    "LP2",
+    "SURVEY_POPULARITY",
+    "lp2_variant",
+    # deployment
+    "Deployment",
+    "RolloutStep",
+    "ScenarioCatalog",
+    "stubs_of",
+    "tier12_rollout",
+    "tier2_rollout",
+    "nonstub_deployment",
+    "tier1_and_stubs",
+    "top_tier2_and_stubs",
+    # routing
+    "Reach",
+    "RouteInfo",
+    "RoutingContext",
+    "RoutingOutcome",
+    "compute_routing_outcome",
+    "normal_conditions",
+    # perceivable / partitions
+    "ClassReach",
+    "AttackCloseures",
+    "perceivable_closures",
+    "attack_closures",
+    "Category",
+    "PartitionCounts",
+    "PartitionResult",
+    "compute_partitions",
+    # metrics
+    "Interval",
+    "AttackHappiness",
+    "MetricResult",
+    "attack_happiness",
+    "security_metric",
+    "metric_for_destination",
+    "metric_improvement",
+    # downgrade / rootcause
+    "DowngradeAnalysis",
+    "SecureRouteFate",
+    "downgrade_analysis",
+    "secure_route_fate",
+    "PHENOMENA_POSSIBLE",
+    "PairRootCause",
+    "RootCauseBreakdown",
+    "pair_root_cause",
+    "root_cause_breakdown",
+    # hardness
+    "ReductionInstance",
+    "build_set_cover_reduction",
+    "count_happy_lower",
+    "max_k_security_bruteforce",
+    "greedy_max_k_security",
+]

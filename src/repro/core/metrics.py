@@ -1,0 +1,209 @@
+"""The security metric ``H_{M,D}(S)`` (Section 4.1).
+
+For an attacker ``m`` attacking destination ``d`` under deployment ``S``,
+``H(m, d, S)`` counts the *happy* sources: those choosing a legitimate
+route to ``d`` rather than the bogus route to ``m``.  The metric averages
+the happy fraction over a set of attackers ``M`` and destinations ``D``::
+
+    H_{M,D}(S) = 1/(|D| (|M|-1) (|V|-2)) Σ_m Σ_{d≠m} H(m, d, S)
+
+Because the model determines routing only up to the intradomain tiebreak
+``TB``, every quantity is reported as a ``[lower, upper]`` interval: the
+lower bound assumes every tiebreak-dependent AS chooses the bogus route,
+the upper bound that it chooses the legitimate one (Section 4.1).
+
+The paper evaluates all ``O(|V|²)`` pairs on supercomputers; here ``M``
+and ``D`` are explicit (typically seeded samples — see
+:mod:`repro.experiments.sampling`), which estimates the same average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..topology.graph import ASGraph
+from .deployment import Deployment
+from .rank import RankModel
+from .routing import RoutingContext, compute_routing_outcome
+
+#: A mapper with the semantics of builtin ``map`` — swap in
+#: ``multiprocessing.Pool.imap`` (via :mod:`repro.experiments.runner`)
+#: for parallel evaluation.
+Mapper = Callable[..., Iterable]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A [lower, upper] bound pair on a fraction."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-12:
+            raise ValueError(f"lower {self.lower} exceeds upper {self.upper}")
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lower + self.upper) / 2.0
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        """Conservative interval difference (used for metric deltas)."""
+        return Interval(self.lower - other.upper, self.upper - other.lower)
+
+    def shift(self, value: float) -> "Interval":
+        return Interval(self.lower - value, self.upper - value)
+
+    def __str__(self) -> str:
+        return f"[{self.lower:.4f}, {self.upper:.4f}]"
+
+
+@dataclass(frozen=True)
+class AttackHappiness:
+    """Happy-source counts for a single (m, d) attack."""
+
+    attacker: int
+    destination: int
+    happy_lower: int
+    happy_upper: int
+    num_sources: int
+
+    @property
+    def fraction(self) -> Interval:
+        if self.num_sources == 0:
+            return Interval(0.0, 0.0)
+        return Interval(
+            self.happy_lower / self.num_sources,
+            self.happy_upper / self.num_sources,
+        )
+
+
+@dataclass(frozen=True)
+class MetricResult:
+    """``H_{M,D}(S)`` over an explicit pair set."""
+
+    value: Interval
+    per_pair: tuple[AttackHappiness, ...]
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.per_pair)
+
+
+def attack_happiness(
+    topology: ASGraph | RoutingContext,
+    attacker: int,
+    destination: int,
+    deployment: Deployment,
+    model: RankModel,
+) -> AttackHappiness:
+    """Happy-source counts when ``attacker`` attacks ``destination``."""
+    outcome = compute_routing_outcome(
+        topology, destination, attacker=attacker, deployment=deployment, model=model
+    )
+    lower, upper = outcome.count_happy()
+    return AttackHappiness(
+        attacker=attacker,
+        destination=destination,
+        happy_lower=lower,
+        happy_upper=upper,
+        num_sources=outcome.num_sources,
+    )
+
+
+def security_metric(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int, int]],
+    deployment: Deployment,
+    model: RankModel,
+    mapper: Mapper = map,
+) -> MetricResult:
+    """``H_{M,D}(S)`` averaged over explicit ``(attacker, destination)`` pairs.
+
+    Args:
+        topology: graph or prebuilt routing context.
+        pairs: the ``(m, d)`` pairs to average over (``m != d``).
+        deployment: the secure set ``S``.
+        model: routing-policy model.
+        mapper: map-like callable for parallel execution.
+
+    Returns:
+        A :class:`MetricResult`; its ``value`` interval is the mean of
+        the per-pair happy fractions.
+    """
+    ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
+    results = tuple(
+        mapper(
+            _happiness_task,
+            ((ctx, m, d, deployment, model) for (m, d) in pairs),
+        )
+    )
+    return MetricResult(value=_mean_interval(results), per_pair=results)
+
+
+def _happiness_task(args: tuple) -> AttackHappiness:
+    ctx, attacker, destination, deployment, model = args
+    return attack_happiness(ctx, attacker, destination, deployment, model)
+
+
+def _mean_interval(results: Sequence[AttackHappiness]) -> Interval:
+    if not results:
+        return Interval(0.0, 0.0)
+    lower = sum(r.fraction.lower for r in results) / len(results)
+    upper = sum(r.fraction.upper for r in results) / len(results)
+    return Interval(lower, upper)
+
+
+def metric_for_destination(
+    topology: ASGraph | RoutingContext,
+    attackers: Sequence[int],
+    destination: int,
+    deployment: Deployment,
+    model: RankModel,
+    mapper: Mapper = map,
+) -> MetricResult:
+    """``H_{M,d}(S)``: the metric restricted to one destination (§5.2.3)."""
+    pairs = [(m, destination) for m in attackers if m != destination]
+    return security_metric(topology, pairs, deployment, model, mapper=mapper)
+
+
+def metric_improvement(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int, int]],
+    deployment: Deployment,
+    model: RankModel,
+    baseline: MetricResult | None = None,
+    mapper: Mapper = map,
+) -> tuple[Interval, MetricResult, MetricResult]:
+    """``H_{M,D}(S) − H_{M,D}(∅)``, the paper's headline quantity.
+
+    The delta is computed *bound-wise* — lower(S) − lower(∅) and
+    upper(S) − upper(∅) — matching the paper's Figures 7-12, which
+    plot the increase of each bound rather than a conservative interval
+    difference.
+
+    Returns:
+        ``(delta, metric_with_S, metric_baseline)``.
+    """
+    ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
+    if baseline is None:
+        baseline = security_metric(
+            ctx, pairs, Deployment.empty(), model, mapper=mapper
+        )
+    secured = security_metric(ctx, pairs, deployment, model, mapper=mapper)
+    delta = Interval(
+        min(
+            secured.value.lower - baseline.value.lower,
+            secured.value.upper - baseline.value.upper,
+        ),
+        max(
+            secured.value.lower - baseline.value.lower,
+            secured.value.upper - baseline.value.upper,
+        ),
+    )
+    return delta, secured, baseline

@@ -1,0 +1,262 @@
+"""Doomed / protectable / immune partitions (Section 4.3, Appendix E).
+
+For a fixed attacker/destination pair ``(m, d)``, every source AS falls
+into exactly one of three categories *independently of which ASes deploy
+S*BGP*:
+
+* **doomed** — routes through the attacker for every secure set ``S``;
+* **immune** — routes to the legitimate destination for every ``S``;
+* **protectable** — its fate depends on ``S``.
+
+Averaging the immune (resp. non-doomed) fractions over pairs gives the
+deployment-invariant lower (resp. upper) bounds on the security metric
+of Section 4.4 — the paper's Figure 3 family.
+
+The computation follows Appendix E exactly:
+
+* **security 3rd** (Corollary E.1): the best route's class *and length*
+  are deployment-invariant, so classify by the endpoints of the
+  baseline (``S = ∅``) BPR set;
+* **security 2nd** (Corollary E.2): only the best route's *class* is
+  invariant, so classify by the endpoints of every same-class route
+  that *survives* the FixRoutes pruning — i.e. routes through fixed
+  neighbors whose own BPR sets still offer them.  (A static
+  perceivable-route closure is not enough: a stub whose providers are
+  all doomed can only ever learn bogus routes, which is exactly why
+  most sources are doomed when a Tier 1 is attacked, §4.6);
+* **security 1st** (Observations E.3/E.4): doomed iff every perceivable
+  route leads to the attacker; immune iff none does; the paper treats
+  everything else (≈ all ASes) as protectable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..topology.graph import ASGraph
+from ..topology.relationships import RouteClass
+from .perceivable import AttackCloseures, attack_closures
+from .rank import BASELINE, RankModel, SecurityModel
+from .routing import Reach, RoutingContext, RoutingOutcome, compute_routing_outcome
+
+
+class Category(enum.Enum):
+    """Deployment-invariant fate of a source AS (Table 2)."""
+
+    DOOMED = "doomed"
+    PROTECTABLE = "protectable"
+    IMMUNE = "immune"
+    #: no perceivable route to either endpoint (disconnected inputs only).
+    DISCONNECTED = "disconnected"
+
+
+@dataclass(frozen=True)
+class PartitionCounts:
+    """Aggregate partition sizes for one (m, d) pair."""
+
+    doomed: int
+    protectable: int
+    immune: int
+    disconnected: int
+
+    @property
+    def total(self) -> int:
+        return self.doomed + self.protectable + self.immune + self.disconnected
+
+    def fractions(self) -> tuple[float, float, float]:
+        """(doomed, protectable, immune) as fractions of all sources."""
+        total = self.total
+        if total == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.doomed / total,
+            self.protectable / total,
+            self.immune / total,
+        )
+
+
+@dataclass
+class PartitionResult:
+    """Per-source categories for one attacker/destination pair."""
+
+    attacker: int
+    destination: int
+    model: RankModel
+    category_of: dict[int, Category]
+
+    def counts(self) -> PartitionCounts:
+        doomed = protectable = immune = disconnected = 0
+        for category in self.category_of.values():
+            if category is Category.DOOMED:
+                doomed += 1
+            elif category is Category.PROTECTABLE:
+                protectable += 1
+            elif category is Category.IMMUNE:
+                immune += 1
+            else:
+                disconnected += 1
+        return PartitionCounts(doomed, protectable, immune, disconnected)
+
+    def members(self, category: Category) -> frozenset[int]:
+        return frozenset(
+            asn for asn, cat in self.category_of.items() if cat is category
+        )
+
+
+def compute_partitions(
+    topology: ASGraph | RoutingContext,
+    attacker: int,
+    destination: int,
+    model: RankModel,
+    baseline_outcome: RoutingOutcome | None = None,
+    closures: AttackCloseures | None = None,
+) -> PartitionResult:
+    """Partition all sources for ``(m, d)`` under the given model.
+
+    Args:
+        topology: graph or prebuilt context.
+        attacker: the attacking AS ``m``.
+        destination: the victim AS ``d``.
+        model: one of the three security models (the baseline model has
+            no protectable ASes by definition and is rejected).
+        baseline_outcome: optional precomputed ``S = ∅`` attack outcome
+            for this pair (shared across models — with no secure AS all
+            models coincide).
+        closures: optional precomputed perceivable closures for the pair.
+
+    Returns:
+        A :class:`PartitionResult`.
+    """
+    if model.model is SecurityModel.BASELINE:
+        raise ValueError("partitions are defined for the three security models")
+    ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
+
+    if model.model is SecurityModel.THIRD:
+        outcome = baseline_outcome or compute_routing_outcome(
+            ctx,
+            destination,
+            attacker=attacker,
+            model=RankModel(SecurityModel.BASELINE, model.local_preference),
+        )
+        return _partitions_from_bpr_endpoints(ctx, outcome, model)
+
+    if model.model is SecurityModel.SECOND:
+        outcome = baseline_outcome or compute_routing_outcome(
+            ctx,
+            destination,
+            attacker=attacker,
+            model=RankModel(SecurityModel.BASELINE, model.local_preference),
+        )
+        return _partitions_security_second(ctx, outcome, model)
+    closures = closures or attack_closures(ctx, attacker, destination)
+    return _partitions_security_first(ctx, attacker, destination, closures, model)
+
+
+def _partitions_from_bpr_endpoints(
+    ctx: RoutingContext, outcome: RoutingOutcome, model: RankModel
+) -> PartitionResult:
+    """Security 3rd: classify by the endpoints of the S=∅ BPR set."""
+    category_of: dict[int, Category] = {}
+    attacker = outcome.attacker
+    destination = outcome.destination
+    for asn in ctx.asns:
+        if asn == attacker or asn == destination:
+            continue
+        reaches = outcome.reaches(asn)
+        if reaches == Reach.DEST:
+            category_of[asn] = Category.IMMUNE
+        elif reaches == Reach.ATTACKER:
+            category_of[asn] = Category.DOOMED
+        elif reaches == Reach.BOTH:
+            category_of[asn] = Category.PROTECTABLE
+        else:
+            category_of[asn] = Category.DISCONNECTED
+    return PartitionResult(attacker, destination, model, category_of)  # type: ignore[arg-type]
+
+
+def _partitions_security_second(
+    ctx: RoutingContext,
+    outcome: RoutingOutcome,
+    model: RankModel,
+) -> PartitionResult:
+    """Security 2nd: endpoints of surviving same-class routes (Cor. E.2).
+
+    An AS stabilizes to a route of the same LP class as its ``S = ∅``
+    best routes, but — because security outranks length inside the class
+    — possibly via *any* neighbor still offering that class after the
+    FixRoutes pruning.  The endpoints it can be steered to are therefore
+    the union of its class-``C`` neighbors' own BPR endpoints.
+    """
+    category_of: dict[int, Category] = {}
+    attacker = outcome.attacker
+    destination = outcome.destination
+    assert attacker is not None
+    neighbor_sets = {
+        RouteClass.CUSTOMER: ctx.customers_of,
+        RouteClass.PEER: ctx.peers_of,
+        RouteClass.PROVIDER: ctx.providers_of,
+    }
+    for asn in ctx.asns:
+        if asn == attacker or asn == destination:
+            continue
+        info = outcome.routes.get(asn)
+        if info is None or info.route_class is None:
+            category_of[asn] = Category.DISCONNECTED
+            continue
+        route_class = info.route_class
+        reach = Reach.NONE
+        for nbr in neighbor_sets[route_class][asn]:
+            if nbr == destination:
+                reach |= Reach.DEST
+                continue
+            if nbr == attacker:
+                reach |= Reach.ATTACKER
+                continue
+            nbr_info = outcome.routes.get(nbr)
+            if nbr_info is None or nbr_info.route_class is None:
+                continue
+            # Ex: the neighbor offers its fixed route to ``asn`` only if
+            # it is a customer route or ``asn`` is its customer.
+            if (
+                nbr_info.route_class is not RouteClass.CUSTOMER
+                and route_class is not RouteClass.PROVIDER
+            ):
+                continue
+            reach |= nbr_info.reaches
+        if reach == Reach.DEST:
+            category_of[asn] = Category.IMMUNE
+        elif reach == Reach.ATTACKER:
+            category_of[asn] = Category.DOOMED
+        elif reach == Reach.BOTH:
+            category_of[asn] = Category.PROTECTABLE
+        else:  # pragma: no cover - the AS is fixed, so some neighbor offers
+            category_of[asn] = Category.DISCONNECTED
+    return PartitionResult(attacker, destination, model, category_of)
+
+
+def _partitions_security_first(
+    ctx: RoutingContext,
+    attacker: int,
+    destination: int,
+    closures: AttackCloseures,
+    model: RankModel,
+) -> PartitionResult:
+    """Security 1st: Observations E.3/E.4; nearly everything is protectable."""
+    category_of: dict[int, Category] = {}
+    legitimate_any = closures.legitimate.any()
+    attacked_any = closures.attacked.any()
+    for asn in ctx.asns:
+        if asn == attacker or asn == destination:
+            continue
+        has_legitimate = asn in legitimate_any
+        has_attacked = asn in attacked_any
+        if has_legitimate and has_attacked:
+            category_of[asn] = Category.PROTECTABLE
+        elif has_legitimate:
+            category_of[asn] = Category.IMMUNE
+        elif has_attacked:
+            category_of[asn] = Category.DOOMED
+        else:
+            category_of[asn] = Category.DISCONNECTED
+    return PartitionResult(attacker, destination, model, category_of)

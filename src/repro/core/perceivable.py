@@ -1,0 +1,144 @@
+"""Perceivable-route closures (Definition B.1 of the paper).
+
+A route is *perceivable* at an AS if it could propagate there under the
+export rule ``Ex`` — independent of anybody's route *selection*.  The
+partition framework of Section 4.3 classifies ASes by which endpoints
+(the legitimate destination ``d`` or the attacker ``m``) they have
+perceivable routes of each LP class to:
+
+* ``v`` has a perceivable **customer** route to ``x`` iff some customer
+  of ``v`` is ``x`` or itself has a perceivable customer route to ``x``;
+* ``v`` has a perceivable **peer** route to ``x`` iff some peer of ``v``
+  is ``x`` or has a perceivable customer route to ``x`` (``Ex``: only
+  customer routes cross a peering edge);
+* ``v`` has a perceivable **provider** route to ``x`` iff some provider
+  of ``v`` is ``x`` or has a perceivable route of *any* class to ``x``
+  (providers export everything to customers).
+
+Legitimate closures avoid the attacker (it never forwards legitimate
+routes while attacking) and attacked closures avoid the destination (it
+never forwards the bogus route), matching Observations E.3/E.4.
+
+The closures do not track per-AS loop freedom: an AS whose only
+downward path from the customer cone passes through itself is still
+included in the provider closure.  This makes the closures a slight
+*over*-approximation of Definition B.1's simple-route sets — harmless
+for their one consumer, the security-1st classifier, which already
+treats nearly everything as protectable (Appendix E.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import deque
+
+from ..topology.graph import ASGraph
+from ..topology.relationships import RouteClass
+from .routing import RoutingContext
+
+
+@dataclass(frozen=True)
+class ClassReach:
+    """ASes with a perceivable route of each class to a fixed endpoint."""
+
+    endpoint: int
+    customer: frozenset[int]
+    peer: frozenset[int]
+    provider: frozenset[int]
+
+    def by_class(self, route_class: RouteClass) -> frozenset[int]:
+        if route_class is RouteClass.CUSTOMER:
+            return self.customer
+        if route_class is RouteClass.PEER:
+            return self.peer
+        return self.provider
+
+    def any(self) -> frozenset[int]:
+        """ASes with a perceivable route of any class."""
+        return self.customer | self.peer | self.provider
+
+    def __contains__(self, asn: int) -> bool:
+        return (
+            asn in self.customer or asn in self.peer or asn in self.provider
+        )
+
+
+def _as_context(topology: ASGraph | RoutingContext) -> RoutingContext:
+    if isinstance(topology, RoutingContext):
+        return topology
+    return RoutingContext(topology)
+
+
+def perceivable_closures(
+    topology: ASGraph | RoutingContext,
+    endpoint: int,
+    avoid: int | None = None,
+) -> ClassReach:
+    """Compute the per-class perceivable-route closures toward ``endpoint``.
+
+    Args:
+        topology: the AS graph or a prebuilt routing context.
+        endpoint: the root the routes lead to (``d`` or ``m``).
+        avoid: an AS routes may never pass through (the other root).
+
+    Returns:
+        A :class:`ClassReach`; the roots themselves are excluded.
+    """
+    ctx = _as_context(topology)
+    if endpoint not in ctx.providers_of:
+        raise ValueError(f"endpoint AS {endpoint} not in graph")
+    excluded = {endpoint, avoid} if avoid is not None else {endpoint}
+
+    # Customer closure: BFS upward from the endpoint along c2p edges.
+    customer: set[int] = set()
+    queue = deque((endpoint,))
+    while queue:
+        u = queue.popleft()
+        for p in ctx.providers_of[u]:
+            if p not in customer and p not in excluded:
+                customer.add(p)
+                queue.append(p)
+
+    # Peer closure: one peering hop off the customer closure (or endpoint).
+    exporters = customer | {endpoint}
+    peer: set[int] = set()
+    for u in exporters:
+        for q in ctx.peers_of[u]:
+            if q not in excluded:
+                peer.add(q)
+
+    # Provider closure: downward propagation from any reachable AS.
+    provider: set[int] = set()
+    seeds = customer | peer | {endpoint}
+    queue = deque(seeds)
+    while queue:
+        u = queue.popleft()
+        for c in ctx.customers_of[u]:
+            if c not in provider and c not in excluded:
+                provider.add(c)
+                queue.append(c)
+    return ClassReach(
+        endpoint=endpoint,
+        customer=frozenset(customer),
+        peer=frozenset(peer),
+        provider=frozenset(provider),
+    )
+
+
+@dataclass(frozen=True)
+class AttackCloseures:
+    """Both closures for one attacker/destination pair."""
+
+    legitimate: ClassReach
+    attacked: ClassReach
+
+
+def attack_closures(
+    topology: ASGraph | RoutingContext, attacker: int, destination: int
+) -> AttackCloseures:
+    """Legitimate (to ``d``, avoiding ``m``) and attacked closures."""
+    ctx = _as_context(topology)
+    return AttackCloseures(
+        legitimate=perceivable_closures(ctx, destination, avoid=attacker),
+        attacked=perceivable_closures(ctx, attacker, avoid=destination),
+    )

@@ -1,0 +1,26 @@
+"""Benchmark harness: one runnable experiment per table/figure."""
+
+from .config import DEFAULT_SEED, SCALES, Scale, get_scale
+from .registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    all_experiments,
+    get_experiment,
+)
+from .runner import ExperimentContext, make_context
+from .writeup import run_all, write_markdown
+
+__all__ = [
+    "Scale",
+    "SCALES",
+    "DEFAULT_SEED",
+    "get_scale",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_experiments",
+    "get_experiment",
+    "ExperimentContext",
+    "make_context",
+    "run_all",
+    "write_markdown",
+]

@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Commands:
+
+* ``list`` — show every registered experiment;
+* ``run <id> [<id> ...]`` — run experiments and print their reports;
+* ``write-md`` — regenerate EXPERIMENTS.md (all experiments + the
+  Appendix J IXP reruns).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .config import DEFAULT_SEED, SCALES
+from .registry import all_experiments, get_experiment
+from .runner import make_context
+from .writeup import write_markdown
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+
+    run_p = sub.add_parser("run", help="run one or more experiments")
+    run_p.add_argument("ids", nargs="+", help="experiment ids (see `list`)")
+    _common(run_p)
+    run_p.add_argument(
+        "--ixp", action="store_true", help="use the IXP-augmented graph (App. J)"
+    )
+
+    md_p = sub.add_parser("write-md", help="regenerate EXPERIMENTS.md")
+    _common(md_p)
+    md_p.add_argument("--out", default="EXPERIMENTS.md", help="output path")
+    md_p.add_argument(
+        "--no-ixp", action="store_true", help="skip the Appendix J reruns"
+    )
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(SCALES), help="sample budgets"
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument(
+        "--processes", type=int, default=1, help="worker processes (1 = serial)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for eid, spec in all_experiments().items():
+            print(f"{eid:14s} {spec.paper_reference:28s} {spec.title}")
+        return 0
+    if args.command == "run":
+        ectx = make_context(
+            scale=args.scale, seed=args.seed, ixp=args.ixp, processes=args.processes
+        )
+        for eid in args.ids:
+            spec = get_experiment(eid)
+            started = time.time()
+            result = spec.run(ectx)
+            print(result.render())
+            print(f"   [{time.time() - started:.1f}s]\n")
+        return 0
+    if args.command == "write-md":
+        results = write_markdown(
+            args.out,
+            scale=args.scale,
+            seed=args.seed,
+            processes=args.processes,
+            include_ixp=not args.no_ixp,
+        )
+        print(f"wrote {args.out} ({len(results)} experiment blocks)")
+        return 0
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Experiment scales and seeds.
+
+The paper evaluates every ``O(|V|²)`` attacker/destination pair of a
+39k-AS graph on supercomputers; this harness estimates the same averages
+from seeded samples on synthetic graphs (see DESIGN.md §1).  A *scale*
+fixes the graph size and every sample budget so results are reproducible
+and the cost dial is explicit:
+
+* ``tiny``   — seconds; used by the test suite and pytest-benchmark;
+* ``small``  — tens of seconds; quick interactive runs;
+* ``medium`` — minutes; the default for regenerating EXPERIMENTS.md;
+* ``large``  — tens of minutes; closest to the paper's shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default RNG seed (the paper's publication year).
+DEFAULT_SEED = 2013
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Sample budgets for one experiment scale.
+
+    Attributes:
+        name: scale identifier.
+        n: synthetic topology size (number of ASes).
+        pair_samples: (m, d) pairs for graph-wide metric averages
+            (baseline, Figure 3, Figure 16).
+        tier_destinations: destinations sampled per tier for the
+            Figure 4/5 (by-destination-tier) partition figures.
+        tier_attackers: attackers sampled per destination in those
+            figures (and attackers per tier in Figure 6).
+        rollout_pairs: (m, d) pairs per rollout step (Figures 7, 8, 11).
+        perdest_destinations: secure destinations in the per-destination
+            sequences (Figures 9, 10, 12).
+        perdest_attackers: attackers per destination in those sequences.
+        cp_attackers: attackers per content provider in Figure 13.
+    """
+
+    name: str
+    n: int
+    pair_samples: int
+    tier_destinations: int
+    tier_attackers: int
+    rollout_pairs: int
+    perdest_destinations: int
+    perdest_attackers: int
+    cp_attackers: int
+
+
+SCALES: dict[str, Scale] = {
+    scale.name: scale
+    for scale in (
+        Scale(
+            name="tiny",
+            n=300,
+            pair_samples=20,
+            tier_destinations=4,
+            tier_attackers=4,
+            rollout_pairs=16,
+            perdest_destinations=10,
+            perdest_attackers=6,
+            cp_attackers=4,
+        ),
+        Scale(
+            name="small",
+            n=900,
+            pair_samples=60,
+            tier_destinations=10,
+            tier_attackers=6,
+            rollout_pairs=48,
+            perdest_destinations=24,
+            perdest_attackers=10,
+            cp_attackers=8,
+        ),
+        Scale(
+            name="medium",
+            n=2200,
+            pair_samples=120,
+            tier_destinations=16,
+            tier_attackers=8,
+            rollout_pairs=90,
+            perdest_destinations=48,
+            perdest_attackers=14,
+            cp_attackers=10,
+        ),
+        Scale(
+            name="large",
+            n=4500,
+            pair_samples=220,
+            tier_destinations=24,
+            tier_attackers=10,
+            rollout_pairs=150,
+            perdest_destinations=80,
+            perdest_attackers=18,
+            cp_attackers=14,
+        ),
+    )
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scale by name, with a helpful error."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,164 @@
+"""§5.3.1 / §5.2.4: early-adopter guidance experiments.
+
+* ``guideline_t1`` — securing all Tier 1s (+ stubs, optionally + CPs)
+  yields almost no improvement when security is 2nd/3rd (< 0.2 % in the
+  paper), because sources reaching Tier 1 destinations are doomed.
+* ``guideline_t2`` — securing the 13 largest Tier 2s + stubs does
+  better (≈ 1 % in the paper) despite being a smaller deployment.
+* ``nonstubs`` — securing every non-stub AS: the sec-2nd benefits nearly
+  reach sec-1st (paper: 6.2 / 4.7 / 2.2 % worst-case improvements).
+"""
+
+from __future__ import annotations
+
+from ..core.deployment import Deployment
+from ..core.metrics import Interval
+from ..core.rank import BASELINE, SECURITY_MODELS
+from . import report, sampling
+from .registry import ExperimentResult, ExperimentSpec, register
+from .runner import ExperimentContext
+
+
+def _secure_dest_delta(
+    ectx: ExperimentContext, deployment: Deployment, salt: str
+) -> dict[str, Interval]:
+    """ΔH over pairs (M' × secure destinations), per model."""
+    rng = ectx.rng(salt)
+    attackers = sampling.nonstub_attackers(ectx.tiers)
+    dests = sampling.sample_members(
+        rng,
+        sorted(deployment.full | deployment.simplex),
+        ectx.scale.perdest_destinations,
+    )
+    pairs = sampling.sample_pairs(rng, attackers, dests, ectx.scale.rollout_pairs)
+    baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
+    return {
+        model.label: ectx.metric_delta(pairs, deployment, model, baseline)
+        for model in SECURITY_MODELS
+    }
+
+
+def _guideline_result(
+    ectx: ExperimentContext,
+    scenarios: list[tuple[str, Deployment]],
+    experiment_id: str,
+    title: str,
+    paper_reference: str,
+    expectation: str,
+) -> ExperimentResult:
+    rows = []
+    series = []
+    for label, deployment in scenarios:
+        deltas = _secure_dest_delta(ectx, deployment, f"{experiment_id}-{label}")
+        for model in SECURITY_MODELS:
+            delta = deltas[model.label]
+            rows.append(
+                {
+                    "scenario": label,
+                    "secured_fraction": deployment.size / len(ectx.graph),
+                    "model": model.label,
+                    "delta_lower": delta.lower,
+                    "delta_upper": delta.upper,
+                }
+            )
+            series.append((f"{label:>16s} {model.label:14s}", delta))
+    return ExperimentResult(
+        experiment_id=experiment_id + ("_ixp" if ectx.ixp else ""),
+        title=title,
+        paper_reference=paper_reference,
+        paper_expectation=expectation,
+        rows=rows,
+        text=report.interval_series(series),
+    )
+
+
+def run_guideline_t1(ectx: ExperimentContext) -> ExperimentResult:
+    scenarios = [
+        ("T1+stubs", ectx.catalog.get("t1_stubs")),
+        ("T1+stubs+CPs", ectx.catalog.get("t1_stubs_cp")),
+    ]
+    return _guideline_result(
+        ectx,
+        scenarios,
+        "guideline_t1",
+        "Early adoption at Tier 1s (ΔH over secure destinations)",
+        "Section 5.3.1",
+        "sec 2nd/3rd improvements are nearly imperceptible (paper <0.2%)",
+    )
+
+
+def run_guideline_t2(ectx: ExperimentContext) -> ExperimentResult:
+    scenarios = [("top-13 T2+stubs", ectx.catalog.get("t2_top13_stubs"))]
+    return _guideline_result(
+        ectx,
+        scenarios,
+        "guideline_t2",
+        "Early adoption at the largest Tier 2s",
+        "Section 5.3.1",
+        "beats the Tier-1 deployment despite being smaller (paper ~1%)",
+    )
+
+
+def run_nonstubs(ectx: ExperimentContext) -> ExperimentResult:
+    """§5.2.4 quotes worst-case (lower-bound) ΔH_{M',V}: all destinations."""
+    deployment = ectx.catalog.get("nonstubs")
+    rng = ectx.rng("nonstubs")
+    attackers = sampling.nonstub_attackers(ectx.tiers)
+    pairs = sampling.sample_pairs(
+        rng, attackers, ectx.graph.asns, ectx.scale.rollout_pairs
+    )
+    baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
+    rows = []
+    series = []
+    for model in SECURITY_MODELS:
+        delta = ectx.metric_delta(pairs, deployment, model, baseline)
+        rows.append(
+            {
+                "scenario": "all non-stubs",
+                "secured_fraction": deployment.size / len(ectx.graph),
+                "model": model.label,
+                "delta_lower": delta.lower,
+                "delta_upper": delta.upper,
+            }
+        )
+        series.append((f"{'all non-stubs':>16s} {model.label:14s}", delta))
+    return ExperimentResult(
+        experiment_id="nonstubs" + ("_ixp" if ectx.ixp else ""),
+        title="Securing all non-stub ASes (ΔH over all destinations)",
+        paper_reference="Section 5.2.4",
+        paper_expectation=(
+            "worst-case ordering 1st > 2nd > 3rd (paper: 6.2 / 4.7 / "
+            "2.2%); per-destination gaps close in Figure 12"
+        ),
+        rows=rows,
+        text=report.interval_series(series),
+    )
+
+
+register(
+    ExperimentSpec(
+        experiment_id="guideline_t1",
+        title="Tier-1 early adopters",
+        paper_reference="Section 5.3.1",
+        paper_expectation="~no improvement for sec 2nd/3rd",
+        run=run_guideline_t1,
+    )
+)
+register(
+    ExperimentSpec(
+        experiment_id="guideline_t2",
+        title="Tier-2 early adopters",
+        paper_reference="Section 5.3.1",
+        paper_expectation="better than Tier-1 early adopters",
+        run=run_guideline_t2,
+    )
+)
+register(
+    ExperimentSpec(
+        experiment_id="nonstubs",
+        title="All non-stubs secure",
+        paper_reference="Section 5.2.4",
+        paper_expectation="sec2nd nearly reaches sec1st",
+        run=run_nonstubs,
+    )
+)

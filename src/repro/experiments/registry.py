@@ -1,0 +1,90 @@
+"""Experiment registry: one runnable entry per table/figure of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .runner import ExperimentContext
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    ``rows`` hold the machine-readable data (one dict per series point);
+    ``text`` is the rendered, human-readable reproduction of the figure.
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    paper_expectation: str
+    rows: list[dict] = field(default_factory=list)
+    text: str = ""
+
+    def render(self) -> str:
+        header = (
+            f"== {self.experiment_id}: {self.title}\n"
+            f"   paper: {self.paper_reference}\n"
+            f"   expected shape: {self.paper_expectation}\n"
+        )
+        return header + "\n" + self.text.rstrip() + "\n"
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Registry entry for one experiment."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    paper_expectation: str
+    run: Callable[[ExperimentContext], ExperimentResult]
+    #: whether an Appendix J (IXP-augmented graph) rerun is meaningful.
+    supports_ixp: bool = True
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    if spec.experiment_id in _REGISTRY:
+        raise ValueError(f"duplicate experiment id {spec.experiment_id!r}")
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; run `list` for options"
+        ) from None
+
+
+def all_experiments() -> dict[str, ExperimentSpec]:
+    _ensure_loaded()
+    return dict(sorted(_REGISTRY.items()))
+
+
+def _ensure_loaded() -> None:
+    """Import every experiment module exactly once (they self-register)."""
+    if _REGISTRY:
+        return
+    from . import (  # noqa: F401
+        exp_ablation,
+        exp_baseline,
+        exp_downgrade,
+        exp_extensions,
+        exp_guidelines,
+        exp_hardness,
+        exp_lp2,
+        exp_partitions,
+        exp_perdest,
+        exp_rollouts,
+        exp_rootcause,
+        exp_wedgie,
+    )

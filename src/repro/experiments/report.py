@@ -1,0 +1,129 @@
+"""ASCII rendering of experiment outputs.
+
+The paper's figures are stacked bars (partitions), line plots with error
+bars (rollouts) and sorted per-destination sequences.  This module
+renders the same information as monospace text so the harness can print
+"the same rows/series the paper reports" on a terminal and into
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.metrics import Interval
+
+BAR_WIDTH = 46
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A plain fixed-width table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, Interval):
+        return f"[{value.lower:6.1%}, {value.upper:6.1%}]"
+    if isinstance(value, float):
+        return f"{value:7.1%}"
+    return str(value)
+
+
+def stacked_bar(
+    parts: Mapping[str, float], width: int = BAR_WIDTH, marker: float | None = None
+) -> str:
+    """One horizontal stacked bar, optionally with a baseline marker.
+
+    ``parts`` maps a label's first letter to its fraction; e.g.
+    ``{"immune": 0.6, "protectable": 0.15, "doomed": 0.25}`` renders as
+    ``IIIIIII...PPP..DDDD``.  ``marker`` inserts a ``|`` at a fraction
+    (the paper's heavy line for the S = ∅ baseline).
+    """
+    chars: list[str] = []
+    for label, fraction in parts.items():
+        count = round(max(0.0, fraction) * width)
+        chars.extend(label[0].upper() * count)
+    chars = chars[:width]
+    chars.extend("." * (width - len(chars)))
+    if marker is not None and 0.0 <= marker <= 1.0:
+        pos = min(width - 1, round(marker * width))
+        chars[pos] = "|"
+    return "".join(chars)
+
+
+def partition_bars(
+    rows: Sequence[tuple[str, float, float, float, float | None]],
+    width: int = BAR_WIDTH,
+) -> str:
+    """Figure 3/4/5/6-style chart.
+
+    Each row is ``(label, immune, protectable, doomed, baseline_or_None)``;
+    bars are drawn immune-first so the immune/protectable boundary (the
+    metric's lower bound) and the protectable/doomed boundary (its upper
+    bound) are visible, with ``|`` marking the S = ∅ baseline.
+    """
+    label_width = max(len(r[0]) for r in rows)
+    lines = [
+        f"{'':{label_width}}  {'I=immune  P=protectable  D=doomed  |=baseline H(∅)'}"
+    ]
+    for label, immune, protectable, doomed, marker in rows:
+        bar = stacked_bar(
+            {"immune": immune, "protectable": protectable, "doomed": doomed},
+            width=width,
+            marker=marker,
+        )
+        lines.append(
+            f"{label:{label_width}}  {bar}  I={immune:5.1%} P={protectable:5.1%} D={doomed:5.1%}"
+        )
+    return "\n".join(lines)
+
+
+def interval_series(
+    rows: Sequence[tuple[str, Interval]], width: int = BAR_WIDTH, vmax: float | None = None
+) -> str:
+    """Rollout-style series: a [lower, upper] band per labelled step."""
+    if not rows:
+        return "(no data)"
+    if vmax is None:
+        vmax = max(max(abs(iv.lower), abs(iv.upper)) for _, iv in rows) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = []
+    for label, iv in rows:
+        lo = int(round(max(0.0, iv.lower) / vmax * (width - 1)))
+        hi = int(round(max(0.0, iv.upper) / vmax * (width - 1)))
+        bar = [" "] * width
+        for i in range(lo, hi + 1):
+            bar[i] = "="
+        bar[lo] = "["
+        bar[min(hi, width - 1)] = "]"
+        lines.append(f"{label:{label_width}}  {''.join(bar)}  {iv}")
+    return "\n".join(lines)
+
+
+def sequence_summary(
+    label: str, deltas: Sequence[Interval], buckets: int = 5
+) -> list[tuple[str, str]]:
+    """Summarize a per-destination sequence by quantiles of its lower bound.
+
+    Figures 9/10/12 plot a non-decreasing sequence over thousands of
+    destinations; the reproducible summary is its quantile profile.
+    """
+    if not deltas:
+        return [(label, "(no destinations)")]
+    lowers = sorted(d.lower for d in deltas)
+    out = []
+    for i in range(buckets + 1):
+        q = i / buckets
+        idx = min(len(lowers) - 1, int(q * (len(lowers) - 1)))
+        out.append((f"{label} p{int(q * 100):3d}", f"{lowers[idx]:+7.1%}"))
+    return out

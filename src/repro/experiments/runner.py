@@ -1,0 +1,174 @@
+"""Experiment execution context and the parallel evaluation strategy.
+
+The paper parallelized its metric computations with MPI across
+supercomputer nodes (Appendix H); here the unit of parallelism is the
+same — one routing computation per (attacker, destination) pair — fanned
+out over local processes with ``fork`` so the topology is shared with
+the workers for free (no per-task pickling of the graph).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+from ..core.deployment import Deployment, ScenarioCatalog
+from ..core.metrics import (
+    AttackHappiness,
+    Interval,
+    MetricResult,
+    _mean_interval,
+    attack_happiness,
+)
+from ..core.rank import RankModel
+from ..core.routing import RoutingContext
+from ..topology.generate import SyntheticTopology, TopologyParams, generate_topology
+from ..topology.ixp import augment_with_ixp_peering
+from ..topology.tiers import TierTable, classify_tiers
+from .config import DEFAULT_SEED, Scale, get_scale
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+#: State inherited by forked workers; set just before the pool spawns.
+#: Workers read it instead of receiving big arguments per task.
+_FORK_STATE: dict = {}
+
+
+def fork_map(
+    worker: Callable[[U], T],
+    items: Sequence[U],
+    processes: int,
+    **state,
+) -> list[T]:
+    """Map ``worker`` over ``items``, optionally across forked processes.
+
+    ``state`` is placed in :data:`_FORK_STATE` before the pool forks, so
+    workers access the (potentially large) shared inputs — topology,
+    deployment — without per-task pickling.  Serial execution uses the
+    same state mechanism so worker code is identical either way.
+    """
+    _FORK_STATE.update(state)
+    try:
+        if processes <= 1 or len(items) < 8:
+            return [worker(item) for item in items]
+        mp = multiprocessing.get_context("fork")
+        chunk = max(1, len(items) // (processes * 4))
+        with mp.Pool(processes) as pool:
+            return list(pool.map(worker, items, chunksize=chunk))
+    finally:
+        _FORK_STATE.clear()
+
+
+def _pair_worker(pair: tuple[int, int]) -> AttackHappiness:
+    ctx = _FORK_STATE["ctx"]
+    deployment = _FORK_STATE["deployment"]
+    model = _FORK_STATE["model"]
+    return attack_happiness(ctx, pair[0], pair[1], deployment, model)
+
+
+@dataclass
+class ExperimentContext:
+    """Everything an experiment needs: topology, tiers, budgets, caching.
+
+    Build one with :func:`make_context`.  The ``cache`` dict lets related
+    figures share intermediate computations (e.g. Figures 4 and 5 reuse
+    the same per-pair baseline outcomes).
+    """
+
+    scale: Scale
+    seed: int
+    ixp: bool
+    topo: SyntheticTopology
+    graph_ctx: RoutingContext
+    tiers: TierTable
+    catalog: ScenarioCatalog
+    processes: int = 1
+    cache: dict = field(default_factory=dict)
+
+    @property
+    def graph(self):
+        return self.graph_ctx.graph
+
+    def rng(self, salt: str) -> random.Random:
+        """A fresh deterministic RNG for one sampling purpose."""
+        return random.Random(f"{self.seed}/{self.scale.name}/{salt}")
+
+    # ------------------------------------------------------------------
+    # Metric evaluation (serial or fork-parallel)
+    # ------------------------------------------------------------------
+    def metric(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        deployment: Deployment,
+        model: RankModel,
+    ) -> MetricResult:
+        """``H_{M,D}(S)`` over explicit pairs, parallelized if configured."""
+        results = tuple(
+            fork_map(
+                _pair_worker,
+                list(pairs),
+                self.processes,
+                ctx=self.graph_ctx,
+                deployment=deployment,
+                model=model,
+            )
+        )
+        return MetricResult(value=_mean_interval(results), per_pair=results)
+
+    def metric_delta(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        deployment: Deployment,
+        model: RankModel,
+        baseline: MetricResult,
+    ) -> Interval:
+        """Bound-wise ``H(S) − H(∅)`` as plotted in Figures 7-12."""
+        secured = self.metric(pairs, deployment, model)
+        deltas = (
+            secured.value.lower - baseline.value.lower,
+            secured.value.upper - baseline.value.upper,
+        )
+        return Interval(min(deltas), max(deltas))
+
+
+def make_context(
+    scale: str | Scale = "small",
+    seed: int = DEFAULT_SEED,
+    ixp: bool = False,
+    processes: int = 1,
+) -> ExperimentContext:
+    """Build an :class:`ExperimentContext`.
+
+    Args:
+        scale: scale name (see :mod:`repro.experiments.config`) or a
+            custom :class:`Scale`.
+        seed: topology + sampling seed.
+        ixp: run on the IXP-augmented graph (Appendix J).
+        processes: worker processes for metric fan-out (1 = serial).
+    """
+    scale_obj = scale if isinstance(scale, Scale) else get_scale(scale)
+    topo = generate_topology(TopologyParams(n=scale_obj.n, seed=seed))
+    graph = topo.graph
+    if ixp:
+        graph = augment_with_ixp_peering(graph, topo.ixp_members).graph
+    tiers = classify_tiers(graph)
+    return ExperimentContext(
+        scale=scale_obj,
+        seed=seed,
+        ixp=ixp,
+        topo=topo,
+        graph_ctx=RoutingContext(graph),
+        tiers=tiers,
+        catalog=ScenarioCatalog(graph, tiers),
+        processes=processes,
+    )
+
+
+def cached(ectx: ExperimentContext, key: str, build: Callable[[], T]) -> T:
+    """Fetch-or-compute an intermediate shared between experiments."""
+    if key not in ectx.cache:
+        ectx.cache[key] = build()
+    return ectx.cache[key]

@@ -1,0 +1,111 @@
+"""Seeded attacker/destination sampling.
+
+The metric of Section 4.1 averages over explicit sets ``M`` (attackers)
+and ``D`` (destinations).  The paper's headline experiments use
+``M' × V`` where ``M'`` excludes stub attackers ("stubs cannot launch
+attacks if their providers perform prefix filtering", §5.2); this module
+draws seeded samples from those populations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..topology.tiers import Tier, TierTable
+
+
+def nonstub_attackers(tiers: TierTable) -> tuple[int, ...]:
+    """The paper's ``M'``: every AS outside the STUB / STUB-X buckets."""
+    return tiers.non_stubs()
+
+
+def sample_pairs(
+    rng: random.Random,
+    attackers: Sequence[int],
+    destinations: Sequence[int],
+    count: int,
+) -> list[tuple[int, int]]:
+    """Draw ``count`` distinct ``(m, d)`` pairs with ``m != d``.
+
+    Sampling is with replacement over the cross product but the returned
+    pairs are de-duplicated, so fewer than ``count`` pairs are possible
+    when the population is small.
+    """
+    if not attackers or not destinations:
+        return []
+    pairs: set[tuple[int, int]] = set()
+    attempts = 0
+    limit = 50 * count + 100
+    while len(pairs) < count and attempts < limit:
+        attempts += 1
+        m = rng.choice(attackers)
+        d = rng.choice(destinations)
+        if m != d:
+            pairs.add((m, d))
+    return sorted(pairs)
+
+
+def sample_members(
+    rng: random.Random, population: Sequence[int], count: int
+) -> list[int]:
+    """A sorted sample without replacement (whole population if small)."""
+    population = list(population)
+    if len(population) <= count:
+        return sorted(population)
+    return sorted(rng.sample(population, count))
+
+
+def pairs_by_destination_tier(
+    rng: random.Random,
+    tiers: TierTable,
+    attackers: Sequence[int],
+    destinations_per_tier: int,
+    attackers_per_destination: int,
+) -> dict[Tier, list[tuple[int, int]]]:
+    """Figure 4/5 sampling: per tier, pairs with destinations in the tier."""
+    out: dict[Tier, list[tuple[int, int]]] = {}
+    for tier in Tier:
+        members = tiers.members(tier)
+        if not members:
+            continue
+        dests = sample_members(rng, members, destinations_per_tier)
+        pairs: list[tuple[int, int]] = []
+        for d in dests:
+            pool = [m for m in attackers if m != d]
+            for m in sample_members(rng, pool, attackers_per_destination):
+                pairs.append((m, d))
+        if pairs:
+            out[tier] = pairs
+    return out
+
+
+def pairs_by_attacker_tier(
+    rng: random.Random,
+    tiers: TierTable,
+    destinations: Sequence[int],
+    attackers_per_tier: int,
+    destinations_per_attacker: int,
+) -> dict[Tier, list[tuple[int, int]]]:
+    """Figure 6 sampling: per tier, pairs with attackers in the tier."""
+    out: dict[Tier, list[tuple[int, int]]] = {}
+    for tier in Tier:
+        members = tiers.members(tier)
+        if not members:
+            continue
+        ms = sample_members(rng, members, attackers_per_tier)
+        pairs: list[tuple[int, int]] = []
+        for m in ms:
+            pool = [d for d in destinations if d != m]
+            for d in sample_members(rng, pool, destinations_per_attacker):
+                pairs.append((m, d))
+        if pairs:
+            out[tier] = pairs
+    return out
+
+
+def pairs_by_source_tier_population(
+    tiers: TierTable,
+) -> dict[Tier, frozenset[int]]:
+    """§4.7's omitted figure: the per-tier *source* populations."""
+    return {tier: frozenset(tiers.members(tier)) for tier in Tier if tiers.members(tier)}

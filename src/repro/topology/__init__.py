@@ -1,0 +1,63 @@
+"""AS-level topology substrate: graph, tiers, generator, I/O, gadgets."""
+
+from .graph import ASGraph, TopologyError, graph_from_edges
+from .relationships import ROUTE_CLASS_OF_NEXT_HOP, Relationship, RouteClass, exports_to
+from .tiers import (
+    FIGURE_TIER_ORDER,
+    PAPER_CONTENT_PROVIDERS,
+    Tier,
+    TierParams,
+    TierTable,
+    classify_tiers,
+)
+from .generate import SyntheticTopology, TopologyParams, generate_topology
+from .serial2 import (
+    Serial2FormatError,
+    dump_serial2,
+    dumps_serial2,
+    load_serial2,
+    parse_serial2,
+    write_serial2,
+)
+from .preprocess import (
+    PreprocessReport,
+    break_customer_provider_cycles,
+    keep_largest_component,
+    preprocess_graph,
+    prune_providerless,
+)
+from .ixp import IxpAugmentation, augment_with_ixp_peering
+from . import gadgets
+
+__all__ = [
+    "ASGraph",
+    "TopologyError",
+    "graph_from_edges",
+    "Relationship",
+    "RouteClass",
+    "ROUTE_CLASS_OF_NEXT_HOP",
+    "exports_to",
+    "Tier",
+    "TierParams",
+    "TierTable",
+    "classify_tiers",
+    "FIGURE_TIER_ORDER",
+    "PAPER_CONTENT_PROVIDERS",
+    "SyntheticTopology",
+    "TopologyParams",
+    "generate_topology",
+    "Serial2FormatError",
+    "parse_serial2",
+    "load_serial2",
+    "write_serial2",
+    "dump_serial2",
+    "dumps_serial2",
+    "PreprocessReport",
+    "preprocess_graph",
+    "prune_providerless",
+    "keep_largest_component",
+    "break_customer_provider_cycles",
+    "IxpAugmentation",
+    "augment_with_ixp_peering",
+    "gadgets",
+]

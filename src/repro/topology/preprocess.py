@@ -1,0 +1,118 @@
+"""Topology preprocessing, following Section 2.2 of the paper.
+
+The paper preprocesses the raw UCLA graph by "recursively removing all
+ASes that had no providers that had low degree (and were not Tier 1
+ISPs)".  Raw relationship inferences also occasionally contain
+customer-provider cycles and disconnected fragments; this module cleans
+all of that up and reports what it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import ASGraph
+
+
+@dataclass
+class PreprocessReport:
+    """What :func:`preprocess_graph` changed."""
+
+    removed_providerless: list[int] = field(default_factory=list)
+    removed_disconnected: list[int] = field(default_factory=list)
+    broken_cycle_edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def total_removed(self) -> int:
+        return len(self.removed_providerless) + len(self.removed_disconnected)
+
+
+def prune_providerless(
+    graph: ASGraph,
+    keep: frozenset[int] = frozenset(),
+    degree_threshold: int = 25,
+) -> list[int]:
+    """Recursively remove low-degree provider-less ASes (Section 2.2).
+
+    An AS with no providers and degree below ``degree_threshold`` is
+    almost always an inference artifact (a leaf wrongly promoted to the
+    top of the hierarchy).  Removal can orphan further ASes, hence the
+    recursion.  ASes in ``keep`` (e.g. the Tier 1 clique) are never
+    removed.  Mutates ``graph``; returns the removed ASNs.
+    """
+    removed: list[int] = []
+    changed = True
+    while changed:
+        changed = False
+        for asn in list(graph.asns):
+            if asn in keep:
+                continue
+            if graph.providers(asn):
+                continue
+            if graph.degree(asn) >= degree_threshold:
+                continue
+            graph.remove_as(asn)
+            removed.append(asn)
+            changed = True
+    return removed
+
+
+def keep_largest_component(graph: ASGraph) -> list[int]:
+    """Remove every AS outside the largest connected component."""
+    components = graph.connected_components()
+    if len(components) <= 1:
+        return []
+    removed: list[int] = []
+    for component in components[1:]:
+        for asn in sorted(component):
+            graph.remove_as(asn)
+            removed.append(asn)
+    return removed
+
+
+def break_customer_provider_cycles(graph: ASGraph) -> list[tuple[int, int]]:
+    """Remove edges until the customer→provider digraph is acyclic.
+
+    Within each detected cycle the edge whose provider has the *smallest*
+    customer degree is dropped (it is the least plausible inference).
+    Returns the removed ``(customer, provider)`` edges.
+    """
+    removed: list[tuple[int, int]] = []
+    while True:
+        cycle = graph.find_customer_provider_cycle()
+        if cycle is None:
+            return removed
+        edges = list(zip(cycle, cycle[1:] + cycle[:1]))
+        customer, provider = min(
+            edges, key=lambda e: (graph.customer_degree(e[1]), e)
+        )
+        graph.remove_edge(customer, provider)
+        removed.append((customer, provider))
+
+
+def preprocess_graph(
+    graph: ASGraph,
+    keep: frozenset[int] = frozenset(),
+    degree_threshold: int = 25,
+) -> PreprocessReport:
+    """Run the full Section 2.2 cleanup pipeline in place.
+
+    Order matters: cycles are broken first (so the provider-less check is
+    meaningful), then provider-less fragments are pruned, then everything
+    outside the largest component is dropped.
+
+    Args:
+        graph: mutated in place.
+        keep: ASNs never to remove (e.g. known Tier 1s).
+        degree_threshold: "low degree" cutoff for provider-less pruning.
+
+    Returns:
+        A :class:`PreprocessReport`.
+    """
+    report = PreprocessReport()
+    report.broken_cycle_edges = break_customer_provider_cycles(graph)
+    report.removed_providerless = prune_providerless(
+        graph, keep=keep, degree_threshold=degree_threshold
+    )
+    report.removed_disconnected = keep_largest_component(graph)
+    return report

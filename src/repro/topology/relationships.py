@@ -1,0 +1,69 @@
+"""Business relationships between ASes and route classes.
+
+The paper models the AS-level topology as an undirected graph whose edges
+are annotated with one of two business relationships (Section 2.2):
+
+* **customer-to-provider** — the customer pays the provider for transit;
+* **peer-to-peer** — the two ASes exchange their customers' traffic for free.
+
+A *route class* describes a route from the point of view of the AS using
+it: a route whose next hop is a customer is a *customer route*, and so on.
+The numeric values encode the local-preference (``LP``) order of the
+classic model: customer routes are most preferred, provider routes least.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Relationship(enum.Enum):
+    """Relationship of a neighbor from a given AS's point of view."""
+
+    CUSTOMER = "customer"
+    PEER = "peer"
+    PROVIDER = "provider"
+
+    def inverse(self) -> "Relationship":
+        """The same edge seen from the other endpoint."""
+        if self is Relationship.CUSTOMER:
+            return Relationship.PROVIDER
+        if self is Relationship.PROVIDER:
+            return Relationship.CUSTOMER
+        return Relationship.PEER
+
+
+class RouteClass(enum.IntEnum):
+    """LP class of a route; lower value = more preferred (classic LP)."""
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+
+
+#: Map from the relationship of the *next hop* to the class of the route.
+#: If my next hop is my customer, I am using a customer route.
+ROUTE_CLASS_OF_NEXT_HOP = {
+    Relationship.CUSTOMER: RouteClass.CUSTOMER,
+    Relationship.PEER: RouteClass.PEER,
+    Relationship.PROVIDER: RouteClass.PROVIDER,
+}
+
+
+def exports_to(route_class: RouteClass, neighbor: Relationship) -> bool:
+    """The Gao-Rexford export rule ``Ex`` (Section 2.2.1).
+
+    An AS exports its chosen route to a neighbor if and only if the route
+    is a customer route (then it is exported to everyone) or the neighbor
+    is a customer (customers receive every route).
+
+    Args:
+        route_class: class of the route the AS has selected.
+        neighbor: relationship of the neighbor the route would be sent to.
+
+    Returns:
+        True if the export is allowed under ``Ex``.
+    """
+    if route_class is RouteClass.CUSTOMER:
+        return True
+    return neighbor is Relationship.CUSTOMER

@@ -1,0 +1,82 @@
+"""Shared fixtures: small deterministic topologies and routing contexts."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import core, topology
+
+
+@pytest.fixture(scope="session")
+def small_topo():
+    """A 300-AS synthetic topology shared across the suite."""
+    return topology.generate_topology(topology.TopologyParams(n=300, seed=2013))
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_topo):
+    return small_topo.graph
+
+
+@pytest.fixture(scope="session")
+def small_ctx(small_graph):
+    return core.RoutingContext(small_graph)
+
+
+@pytest.fixture(scope="session")
+def small_tiers(small_graph):
+    return topology.classify_tiers(small_graph)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(99)
+
+
+def make_line_graph():
+    """1 ← 2 ← 3 ← 4: a customer chain (1 is everyone's transitive provider).
+
+    Edges are (customer, provider): 2 buys from 1, 3 from 2, 4 from 3.
+    """
+    return topology.graph_from_edges(
+        customer_provider=[(2, 1), (3, 2), (4, 3)]
+    )
+
+
+def make_diamond_graph():
+    """d=1 with two providers 2 and 3, both customers of top AS 4."""
+    return topology.graph_from_edges(
+        customer_provider=[(1, 2), (1, 3), (2, 4), (3, 4)]
+    )
+
+
+@pytest.fixture()
+def line_graph():
+    return make_line_graph()
+
+
+@pytest.fixture()
+def diamond_graph():
+    return make_diamond_graph()
+
+
+def random_small_topology(seed: int, n: int = 60):
+    """A tiny random topology for property-style sweeps."""
+    params = topology.TopologyParams(n=max(50, n), seed=seed)
+    return topology.generate_topology(params)
+
+
+def random_attack_setup(seed: int, n: int = 60):
+    """(graph, ctx, destination, attacker, deployment) from one seed."""
+    topo = random_small_topology(seed, n)
+    graph = topo.graph
+    ctx = core.RoutingContext(graph)
+    rnd = random.Random(seed * 7 + 1)
+    asns = graph.asns
+    destination = rnd.choice(asns)
+    attacker = rnd.choice([a for a in asns if a != destination])
+    k = rnd.randint(0, len(asns) // 2)
+    deployment = core.Deployment.of(rnd.sample(asns, k))
+    return graph, ctx, destination, attacker, deployment

@@ -1,0 +1,165 @@
+"""Tests for the §8 extensions: hysteresis, attack injection, islands."""
+
+import pytest
+
+from repro.bgpsim import BGPSimulator, PolicyAssignment
+from repro.bgpsim.policy import island_assignment
+from repro.core import (
+    Deployment,
+    SECURITY_FIRST,
+    SECURITY_SECOND,
+    SECURITY_THIRD,
+)
+from repro.topology import gadgets, graph_from_edges
+
+
+@pytest.fixture()
+def fig2():
+    gadget = gadgets.figure2_protocol_downgrade()
+    return gadget, Deployment.of(gadget.secure)
+
+
+class TestInjectAttacker:
+    def test_injection_equals_cold_start_without_hysteresis(self, fig2):
+        """Memoryless policies: attack-from-converged == attack-from-scratch."""
+        gadget, deployment = fig2
+        policies = PolicyAssignment.uniform(SECURITY_SECOND)
+        cold = BGPSimulator(
+            gadget.graph, gadget.destination, deployment, policies,
+            attacker=gadget.attacker,
+        )
+        cold.run()
+        warm = BGPSimulator(
+            gadget.graph, gadget.destination, deployment, policies
+        )
+        warm.run()
+        warm.inject_attacker(gadget.attacker)
+        warm.run()
+        assert warm.stable_state() == cold.stable_state()
+
+    def test_double_injection_rejected(self, fig2):
+        gadget, deployment = fig2
+        sim = BGPSimulator(gadget.graph, gadget.destination, deployment)
+        sim.run()
+        sim.inject_attacker(gadget.attacker)
+        with pytest.raises(ValueError):
+            sim.inject_attacker(gadget.attacker)
+
+    def test_destination_cannot_attack_itself(self, fig2):
+        gadget, deployment = fig2
+        sim = BGPSimulator(gadget.graph, gadget.destination, deployment)
+        with pytest.raises(ValueError):
+            sim.inject_attacker(gadget.destination)
+
+    def test_unknown_attacker(self, fig2):
+        gadget, deployment = fig2
+        sim = BGPSimulator(gadget.graph, gadget.destination, deployment)
+        with pytest.raises(ValueError):
+            sim.inject_attacker(424242)
+
+    def test_attacker_replaces_previous_exports(self):
+        # 3 transits for 4 under normal conditions; once 3 turns
+        # malicious, 4 receives only the bogus route.
+        graph = graph_from_edges(customer_provider=[(3, 1), (4, 3)])
+        sim = BGPSimulator(graph, destination=1)
+        sim.run()
+        assert sim.stable_state()[4] == (3, 1)
+        sim.inject_attacker(3)
+        sim.run()
+        assert sim.routes_to_attacker(4)
+        assert sim.physical_path(4) == (4, 3)
+
+
+class TestHysteresis:
+    def test_figure2_downgrade_cured(self, fig2):
+        gadget, deployment = fig2
+        sim = BGPSimulator(
+            gadget.graph, gadget.destination, deployment,
+            PolicyAssignment.uniform(SECURITY_SECOND),
+            secure_hysteresis=True,
+        )
+        sim.run()
+        assert sim.uses_secure_route(21740)
+        sim.inject_attacker(gadget.attacker)
+        sim.run()
+        assert sim.uses_secure_route(21740)  # the incumbent sticks
+        assert not sim.routes_to_attacker(21740)
+
+    def test_without_hysteresis_downgrade_happens(self, fig2):
+        gadget, deployment = fig2
+        sim = BGPSimulator(
+            gadget.graph, gadget.destination, deployment,
+            PolicyAssignment.uniform(SECURITY_SECOND),
+        )
+        sim.run()
+        sim.inject_attacker(gadget.attacker)
+        sim.run()
+        assert not sim.uses_secure_route(21740)
+        assert sim.routes_to_attacker(21740)
+
+    def test_hysteresis_releases_when_no_secure_route_left(self):
+        # 2's secure route dies with the 2-1 link; hysteresis must not
+        # strand it routeless when only insecure alternatives remain.
+        graph = graph_from_edges(customer_provider=[(2, 1), (2, 3), (1, 3)])
+        deployment = Deployment.of([1, 2])
+        sim = BGPSimulator(
+            graph, 1, deployment,
+            PolicyAssignment.uniform(SECURITY_SECOND),
+            secure_hysteresis=True,
+        )
+        sim.run()
+        assert sim.uses_secure_route(2)
+        sim.fail_link(2, 1)
+        sim.run()
+        assert sim.best[2] is not None
+        assert not sim.uses_secure_route(2)
+        assert sim.physical_path(2) == (2, 3, 1)
+
+    def test_hysteresis_still_upgrades_between_secure_routes(self):
+        # two secure routes: hysteresis only blocks secure->insecure
+        # moves, not secure->secure improvements.
+        graph = graph_from_edges(
+            customer_provider=[(2, 1), (3, 1), (4, 2), (4, 3)]
+        )
+        deployment = Deployment.of([1, 2, 3, 4])
+        sim = BGPSimulator(
+            graph, 1, deployment,
+            PolicyAssignment.uniform(SECURITY_SECOND),
+            secure_hysteresis=True,
+        )
+        sim.run()
+        assert sim.best[4][0] == 2  # tiebreak: lowest next hop
+        sim.fail_link(4, 2)
+        sim.run()
+        assert sim.best[4][0] == 3
+        assert sim.uses_secure_route(4)
+
+
+class TestIslandAssignment:
+    def test_overrides_only_island(self):
+        policies = island_assignment(
+            {1, 2}, inside=SECURITY_FIRST, outside=SECURITY_THIRD
+        )
+        assert policies.model_for(1) is SECURITY_FIRST
+        assert policies.model_for(7) is SECURITY_THIRD
+
+    def test_island_protects_member_destination(self):
+        # island {1, 2, 5}: 2 would normally downgrade to the shorter
+        # bogus peer route; as an island member it stays secure.
+        graph = graph_from_edges(
+            customer_provider=[(2, 1), (5, 2), (666, 3)],
+            peerings=[(2, 3)],
+        )
+        deployment = Deployment.of([1, 2, 5])
+        for inside, expect_secure in (
+            (SECURITY_FIRST, True),
+            (SECURITY_THIRD, False),
+        ):
+            policies = island_assignment(
+                {1, 2, 5}, inside=inside, outside=SECURITY_THIRD
+            )
+            sim = BGPSimulator(
+                graph, 1, deployment, policies, attacker=666
+            )
+            sim.run()
+            assert sim.uses_secure_route(2) is expect_secure, inside.label

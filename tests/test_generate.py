@@ -1,0 +1,106 @@
+"""Tests for the synthetic topology generator."""
+
+import pytest
+
+from repro.topology import (
+    PAPER_CONTENT_PROVIDERS,
+    Tier,
+    TopologyParams,
+    classify_tiers,
+    generate_topology,
+)
+
+
+class TestStructuralInvariants:
+    def test_validates_and_connected(self, small_topo):
+        graph = small_topo.graph
+        graph.validate()
+        assert len(graph.connected_components()) == 1
+
+    def test_requested_size(self, small_topo):
+        assert len(small_topo.graph) == small_topo.params.n
+
+    def test_tier1_clique_providerless(self, small_topo):
+        graph = small_topo.graph
+        tier1 = [a for a, layer in small_topo.layer_of.items() if layer == "t1"]
+        assert len(tier1) == small_topo.params.tier1_count
+        for a in tier1:
+            assert not graph.providers(a)
+            assert graph.customers(a), "every Tier 1 must have a customer"
+            for b in tier1:
+                if a < b:
+                    assert b in graph.peers(a)
+
+    def test_everyone_else_has_providers(self, small_topo):
+        graph = small_topo.graph
+        for asn, layer in small_topo.layer_of.items():
+            if layer != "t1":
+                assert graph.providers(asn), (asn, layer)
+
+    def test_stub_fraction_large(self, small_topo):
+        graph = small_topo.graph
+        stubs = sum(1 for a in graph.asns if graph.is_stub(a))
+        # the paper: ~85% of ASes are stubs; generator should be close.
+        assert stubs / len(graph) > 0.70
+
+    def test_edge_density_ratios(self):
+        topo = generate_topology(TopologyParams(n=1200, seed=5))
+        graph = topo.graph
+        c2p_ratio = graph.num_customer_provider_links / len(graph)
+        p2p_ratio = graph.num_peer_links / len(graph)
+        # UCLA graph: 1.88 c2p and 1.59 p2p per AS.
+        assert 1.2 < c2p_ratio < 2.8
+        assert 0.7 < p2p_ratio < 2.5
+
+    def test_content_providers_embedded(self, small_topo):
+        assert set(small_topo.content_providers) == set(PAPER_CONTENT_PROVIDERS)
+        for cp in small_topo.content_providers:
+            assert cp in small_topo.graph
+            assert small_topo.graph.peer_degree(cp) >= 2
+
+    def test_content_providers_optional(self):
+        topo = generate_topology(
+            TopologyParams(n=200, seed=3, include_content_providers=False)
+        )
+        assert not topo.content_providers
+        assert not set(PAPER_CONTENT_PROVIDERS) & set(topo.graph.asns)
+
+    def test_ixp_memberships_reference_real_ases(self, small_topo):
+        assert small_topo.ixp_members, "generator should emit IXP lists"
+        for members in small_topo.ixp_members.values():
+            assert len(members) >= 2
+            for asn in members:
+                assert asn in small_topo.graph
+
+    def test_no_ixps_when_disabled(self):
+        topo = generate_topology(TopologyParams(n=200, seed=3, ixp_count=0))
+        assert topo.ixp_members == {}
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = generate_topology(TopologyParams(n=250, seed=11))
+        b = generate_topology(TopologyParams(n=250, seed=11))
+        assert list(a.graph.edges()) == list(b.graph.edges())
+        assert a.ixp_members == b.ixp_members
+
+    def test_different_seed_different_graph(self):
+        a = generate_topology(TopologyParams(n=250, seed=11))
+        b = generate_topology(TopologyParams(n=250, seed=12))
+        assert list(a.graph.edges()) != list(b.graph.edges())
+
+
+class TestParams:
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n=10)
+
+    def test_rejects_single_tier1(self):
+        with pytest.raises(ValueError):
+            TopologyParams(n=100, tier1_count=1)
+
+    def test_classifier_compatible(self, small_graph):
+        tiers = classify_tiers(small_graph)
+        assert len(tiers.members(Tier.TIER1)) == 13
+        # the generator's "large" layer should dominate the Tier 2 bucket
+        assert len(tiers.members(Tier.TIER2)) >= 10

@@ -1,0 +1,212 @@
+"""Unit tests for the ASGraph substrate."""
+
+import pytest
+
+from repro.topology import ASGraph, Relationship, TopologyError, graph_from_edges
+
+
+class TestConstruction:
+    def test_add_as_idempotent(self):
+        g = ASGraph()
+        g.add_as(1)
+        g.add_as(1)
+        assert len(g) == 1
+
+    def test_rejects_negative_asn(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError):
+            g.add_as(-5)
+
+    def test_rejects_non_int_asn(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError):
+            g.add_as("AS13")  # type: ignore[arg-type]
+
+    def test_customer_provider_edge(self):
+        g = ASGraph()
+        g.add_customer_provider(customer=10, provider=20)
+        assert g.providers(10) == {20}
+        assert g.customers(20) == {10}
+        assert g.peers(10) == frozenset()
+
+    def test_peering_edge_symmetric(self):
+        g = ASGraph()
+        g.add_peering(1, 2)
+        assert g.peers(1) == {2}
+        assert g.peers(2) == {1}
+
+    def test_rejects_self_loop(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError):
+            g.add_customer_provider(3, 3)
+        with pytest.raises(TopologyError):
+            g.add_peering(4, 4)
+
+    def test_rejects_duplicate_edge_any_annotation(self):
+        g = ASGraph()
+        g.add_customer_provider(1, 2)
+        with pytest.raises(TopologyError):
+            g.add_peering(1, 2)
+        with pytest.raises(TopologyError):
+            g.add_customer_provider(2, 1)
+        with pytest.raises(TopologyError):
+            g.add_customer_provider(1, 2)
+
+    def test_graph_from_edges(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2)], peerings=[(2, 3)]
+        )
+        assert set(g.asns) == {1, 2, 3}
+        assert g.relationship(1, 2) is Relationship.PROVIDER
+        assert g.relationship(2, 3) is Relationship.PEER
+
+
+class TestAccessors:
+    def test_relationship_views(self):
+        g = graph_from_edges(customer_provider=[(1, 2)], peerings=[(1, 3)])
+        assert g.relationship(2, 1) is Relationship.CUSTOMER
+        assert g.relationship(1, 2) is Relationship.PROVIDER
+        assert g.relationship(1, 3) is Relationship.PEER
+        assert g.relationship(3, 1) is Relationship.PEER
+
+    def test_relationship_unknown_neighbor(self):
+        g = graph_from_edges(customer_provider=[(1, 2)])
+        with pytest.raises(TopologyError):
+            g.relationship(1, 99)
+
+    def test_neighbors_union(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2), (3, 1)], peerings=[(1, 4)]
+        )
+        assert g.neighbors(1) == {2, 3, 4}
+
+    def test_degrees(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2), (3, 1)], peerings=[(1, 4)]
+        )
+        assert g.provider_degree(1) == 1
+        assert g.customer_degree(1) == 1
+        assert g.peer_degree(1) == 1
+        assert g.degree(1) == 3
+
+    def test_is_stub(self):
+        g = graph_from_edges(customer_provider=[(1, 2)])
+        assert g.is_stub(1)
+        assert not g.is_stub(2)
+
+    def test_edge_counts(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2), (3, 2)], peerings=[(1, 3)]
+        )
+        assert g.num_customer_provider_links == 2
+        assert g.num_peer_links == 1
+
+    def test_contains_and_iter(self):
+        g = graph_from_edges(customer_provider=[(5, 6)])
+        assert 5 in g and 6 in g and 7 not in g
+        assert sorted(g) == [5, 6]
+
+    def test_asns_sorted(self):
+        g = graph_from_edges(customer_provider=[(9, 2), (5, 9)])
+        assert g.asns == [2, 5, 9]
+
+    def test_edges_iteration(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2)], peerings=[(2, 3)]
+        )
+        edges = list(g.edges())
+        assert (1, 2, Relationship.PROVIDER) in edges
+        assert (2, 3, Relationship.PEER) in edges
+        assert len(edges) == 2
+
+    def test_has_edge(self):
+        g = graph_from_edges(customer_provider=[(1, 2)])
+        assert g.has_edge(1, 2) and g.has_edge(2, 1)
+        assert not g.has_edge(1, 99)
+
+    def test_repr(self):
+        g = graph_from_edges(customer_provider=[(1, 2)])
+        assert "|V|=2" in repr(g)
+
+
+class TestMutation:
+    def test_remove_edge_each_annotation(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2)], peerings=[(2, 3)]
+        )
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        g.remove_edge(3, 2)
+        assert not g.has_edge(2, 3)
+
+    def test_remove_missing_edge(self):
+        g = graph_from_edges(customer_provider=[(1, 2)])
+        with pytest.raises(TopologyError):
+            g.remove_edge(1, 99)
+
+    def test_remove_as(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2), (3, 1)], peerings=[(1, 4)]
+        )
+        g.remove_as(1)
+        assert 1 not in g
+        assert g.providers(3) == frozenset()
+        assert g.peers(4) == frozenset()
+
+    def test_remove_missing_as(self):
+        g = ASGraph()
+        with pytest.raises(TopologyError):
+            g.remove_as(1)
+
+    def test_copy_is_deep(self):
+        g = graph_from_edges(customer_provider=[(1, 2)], peerings=[(2, 3)])
+        h = g.copy()
+        h.remove_edge(1, 2)
+        assert g.has_edge(1, 2)
+        assert not h.has_edge(1, 2)
+
+
+class TestStructure:
+    def test_connected_components(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2), (3, 4)], peerings=[(5, 6)]
+        )
+        components = g.connected_components()
+        assert sorted(len(c) for c in components) == [2, 2, 2]
+
+    def test_largest_component_first(self):
+        g = graph_from_edges(customer_provider=[(1, 2), (2, 3), (4, 5)])
+        components = g.connected_components()
+        assert components[0] == {1, 2, 3}
+
+    def test_cycle_detection_none(self):
+        g = graph_from_edges(customer_provider=[(1, 2), (2, 3), (1, 3)])
+        assert g.find_customer_provider_cycle() is None
+
+    def test_cycle_detection_found(self):
+        g = ASGraph()
+        # 1 buys from 2, 2 from 3, 3 from 1: everyone their own provider.
+        g.add_customer_provider(1, 2)
+        g.add_customer_provider(2, 3)
+        g.add_customer_provider(3, 1)
+        cycle = g.find_customer_provider_cycle()
+        assert cycle is not None
+        assert set(cycle) == {1, 2, 3}
+
+    def test_validate_passes_on_dag(self):
+        g = graph_from_edges(customer_provider=[(1, 2), (2, 3)])
+        g.validate()
+
+    def test_validate_rejects_cycle(self):
+        g = ASGraph()
+        g.add_customer_provider(1, 2)
+        g.add_customer_provider(2, 1 + 2)  # 2 -> 3
+        g.add_customer_provider(3, 1)
+        with pytest.raises(TopologyError, match="cycle"):
+            g.validate()
+
+    def test_peering_does_not_create_cycle(self):
+        g = graph_from_edges(
+            customer_provider=[(1, 2)], peerings=[(1, 3), (2, 3)]
+        )
+        assert g.find_customer_provider_cycle() is None

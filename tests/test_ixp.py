@@ -1,0 +1,53 @@
+"""Tests for the IXP peering augmentation (Appendix J)."""
+
+from repro.topology import augment_with_ixp_peering, graph_from_edges
+
+
+class TestAugmentation:
+    def test_members_fully_meshed(self):
+        graph = graph_from_edges(customer_provider=[(1, 4), (2, 4), (3, 4)])
+        result = augment_with_ixp_peering(graph, {"IX": [1, 2, 3]})
+        for a, b in ((1, 2), (1, 3), (2, 3)):
+            assert result.graph.relationship(a, b).value == "peer"
+        assert result.added_count == 3
+
+    def test_existing_edges_not_duplicated(self):
+        graph = graph_from_edges(
+            customer_provider=[(1, 2)], peerings=[(2, 3)]
+        )
+        result = augment_with_ixp_peering(graph, {"IX": [1, 2, 3]})
+        # 1-2 is c2p and 2-3 already peers: only 1-3 is added.
+        assert result.added_edges == ((1, 3),)
+        assert result.skipped_existing == 2
+        # the original c2p edge keeps its annotation.
+        assert result.graph.providers(1) == {2}
+
+    def test_unknown_members_reported(self):
+        graph = graph_from_edges(customer_provider=[(1, 2)])
+        result = augment_with_ixp_peering(graph, {"IX": [1, 2, 999]})
+        assert result.unknown_members == (999,)
+
+    def test_original_graph_untouched(self):
+        graph = graph_from_edges(customer_provider=[(1, 3), (2, 3)])
+        before = list(graph.edges())
+        augment_with_ixp_peering(graph, {"IX": [1, 2]})
+        assert list(graph.edges()) == before
+
+    def test_multiple_ixps_union(self):
+        graph = graph_from_edges(
+            customer_provider=[(1, 9), (2, 9), (3, 9), (4, 9)]
+        )
+        result = augment_with_ixp_peering(graph, {"A": [1, 2], "B": [2, 3, 4]})
+        assert result.graph.has_edge(1, 2)
+        assert result.graph.has_edge(3, 4)
+        assert not result.graph.has_edge(1, 3)
+
+    def test_synthetic_topology_augmentation(self, small_topo):
+        result = augment_with_ixp_peering(small_topo.graph, small_topo.ixp_members)
+        assert result.added_count > 0
+        assert result.unknown_members == ()
+        result.graph.validate()
+        assert (
+            result.graph.num_peer_links
+            == small_topo.graph.num_peer_links + result.added_count
+        )

@@ -1,0 +1,187 @@
+"""Tests for the rank models — including the monotonicity property that
+justifies replacing Appendix B's staged BFS with one Dijkstra pass."""
+
+import itertools
+
+import pytest
+
+from repro.core.rank import (
+    BASELINE,
+    CLASSIC_LP,
+    LP2,
+    SECURITY_FIRST,
+    SECURITY_MODELS,
+    SECURITY_SECOND,
+    SECURITY_THIRD,
+    SURVEY_POPULARITY,
+    LocalPreference,
+    RankModel,
+    SecurityModel,
+    lp2_variant,
+)
+from repro.topology import RouteClass
+
+ALL_MODELS = (BASELINE,) + SECURITY_MODELS + tuple(
+    RankModel(m, LP2)
+    for m in (
+        SecurityModel.BASELINE,
+        SecurityModel.FIRST,
+        SecurityModel.SECOND,
+        SecurityModel.THIRD,
+    )
+) + tuple(
+    RankModel(m, LocalPreference(peer_window=5))
+    for m in (SecurityModel.SECOND, SecurityModel.THIRD)
+)
+
+
+class TestLocalPreference:
+    def test_classic_buckets_are_route_classes(self):
+        for cls in RouteClass:
+            assert CLASSIC_LP.bucket(cls, 3) == int(cls)
+
+    def test_lp2_interleaving(self):
+        # cust(1) < peer(1) < cust(2) < peer(2) < cust(>2) < peer(>2) < prov
+        order = [
+            LP2.bucket(RouteClass.CUSTOMER, 1),
+            LP2.bucket(RouteClass.PEER, 1),
+            LP2.bucket(RouteClass.CUSTOMER, 2),
+            LP2.bucket(RouteClass.PEER, 2),
+            LP2.bucket(RouteClass.CUSTOMER, 3),
+            LP2.bucket(RouteClass.PEER, 3),
+            LP2.bucket(RouteClass.PROVIDER, 1),
+        ]
+        assert order == sorted(order)
+        assert len(set(order)) == len(order)
+
+    def test_lp2_long_routes_capped(self):
+        assert LP2.bucket(RouteClass.CUSTOMER, 3) == LP2.bucket(RouteClass.CUSTOMER, 9)
+        assert LP2.bucket(RouteClass.PEER, 3) == LP2.bucket(RouteClass.PEER, 77)
+
+    def test_provider_bucket_worst(self):
+        for length in (1, 2, 5, 20):
+            for cls in (RouteClass.CUSTOMER, RouteClass.PEER):
+                assert LP2.bucket(RouteClass.PROVIDER, 1) > LP2.bucket(cls, length)
+
+    def test_rejects_zero_window(self):
+        with pytest.raises(ValueError):
+            LocalPreference(peer_window=0)
+
+    def test_labels(self):
+        assert CLASSIC_LP.label == "LP"
+        assert LP2.label == "LP2"
+
+
+class TestKeyOrderings:
+    """Spot-check the paper's ranking stories per model."""
+
+    def test_baseline_ignores_security(self):
+        secure = BASELINE.key(RouteClass.PEER, 3, True)
+        insecure = BASELINE.key(RouteClass.PEER, 3, False)
+        assert secure == insecure
+
+    def test_security_first_beats_lp(self):
+        # a secure provider route beats an insecure customer route
+        # (the Figure 17 situation).
+        secure_provider = SECURITY_FIRST.key(RouteClass.PROVIDER, 5, True)
+        insecure_customer = SECURITY_FIRST.key(RouteClass.CUSTOMER, 2, False)
+        assert secure_provider < insecure_customer
+
+    def test_security_second_respects_lp(self):
+        # an insecure customer route beats a secure peer route.
+        insecure_customer = SECURITY_SECOND.key(RouteClass.CUSTOMER, 6, False)
+        secure_peer = SECURITY_SECOND.key(RouteClass.PEER, 2, True)
+        assert insecure_customer < secure_peer
+
+    def test_security_second_prefers_secure_within_class(self):
+        # ... but a long secure provider route beats a short insecure
+        # one (the Figure 14 collateral-damage mechanism).
+        secure_long = SECURITY_SECOND.key(RouteClass.PROVIDER, 5, True)
+        insecure_short = SECURITY_SECOND.key(RouteClass.PROVIDER, 2, False)
+        assert secure_long < insecure_short
+
+    def test_security_third_respects_length(self):
+        # a short insecure route beats a long secure route of the same
+        # class: the reason sec-3rd gains are meagre (§4.4).
+        insecure_short = SECURITY_THIRD.key(RouteClass.PEER, 2, False)
+        secure_long = SECURITY_THIRD.key(RouteClass.PEER, 3, True)
+        assert insecure_short < secure_long
+
+    def test_security_third_breaks_ties_securely(self):
+        # equal class and length: secure wins before TB (Figure 15).
+        secure = SECURITY_THIRD.key(RouteClass.PEER, 2, True)
+        insecure = SECURITY_THIRD.key(RouteClass.PEER, 2, False)
+        assert secure < insecure
+
+    def test_protocol_downgrade_ranking(self):
+        # Figure 2: the 4-hop insecure *peer* route beats the 1-hop
+        # secure *provider* route when security is 2nd or 3rd ...
+        for model in (SECURITY_SECOND, SECURITY_THIRD):
+            bogus_peer = model.key(RouteClass.PEER, 4, False)
+            secure_provider = model.key(RouteClass.PROVIDER, 1, True)
+            assert bogus_peer < secure_provider
+        # ... but not when security is 1st (Theorem 3.1).
+        assert SECURITY_FIRST.key(RouteClass.PROVIDER, 1, True) < SECURITY_FIRST.key(
+            RouteClass.PEER, 4, False
+        )
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            SECURITY_FIRST.key(RouteClass.PEER, 0, True)
+
+    def test_labels(self):
+        assert SECURITY_SECOND.label == "security_2nd"
+        assert lp2_variant(SECURITY_SECOND).label == "security_2nd/LP2"
+
+    def test_uses_security(self):
+        assert not BASELINE.uses_security
+        assert all(m.uses_security for m in SECURITY_MODELS)
+
+    def test_survey_popularity_matches_paper(self):
+        assert SURVEY_POPULARITY[SecurityModel.FIRST] == 0.10
+        assert SURVEY_POPULARITY[SecurityModel.SECOND] == 0.20
+        assert SURVEY_POPULARITY[SecurityModel.THIRD] == 0.41
+
+
+def _extensions(route_class: RouteClass, secure: bool):
+    """All (receiver class, receiver security) pairs Ex permits.
+
+    A customer route may be re-announced to anyone (the receiver sees it
+    as customer, peer or provider class); other routes only to customers
+    (receiver sees provider class).  A secure announcement may stay
+    secure or become insecure; an insecure one stays insecure.
+    """
+    if route_class is RouteClass.CUSTOMER:
+        classes = list(RouteClass)
+    else:
+        classes = [RouteClass.PROVIDER]
+    securities = [True, False] if secure else [False]
+    return itertools.product(classes, securities)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.label)
+def test_rank_key_strictly_monotone_under_extension(model):
+    """The core invariant: extending a route strictly increases its key.
+
+    This is what makes the single-pass Dijkstra fixing equivalent to the
+    staged BFS of Appendix B (see repro.core.routing docstring).
+    Exhaustive over classes × lengths × security × permitted extensions.
+    """
+    for route_class in RouteClass:
+        for length in range(1, 12):
+            for secure in (True, False):
+                sender_key = model.key(route_class, length, secure)
+                for next_class, next_secure in _extensions(route_class, secure):
+                    receiver_key = model.key(next_class, length + 1, next_secure)
+                    assert receiver_key > sender_key, (
+                        f"{model.label}: {route_class}/{length}/{secure} -> "
+                        f"{next_class}/{length + 1}/{next_secure}"
+                    )
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.label)
+def test_rank_key_prefers_shorter_within_equal_class_and_security(model):
+    for route_class in RouteClass:
+        for secure in (True, False):
+            keys = [model.key(route_class, length, secure) for length in range(1, 8)]
+            assert keys == sorted(keys)

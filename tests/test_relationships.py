@@ -1,0 +1,57 @@
+"""Unit tests for relationships and the export rule Ex."""
+
+import pytest
+
+from repro.topology import (
+    ROUTE_CLASS_OF_NEXT_HOP,
+    Relationship,
+    RouteClass,
+    exports_to,
+)
+
+
+class TestRelationship:
+    @pytest.mark.parametrize(
+        "rel,inv",
+        [
+            (Relationship.CUSTOMER, Relationship.PROVIDER),
+            (Relationship.PROVIDER, Relationship.CUSTOMER),
+            (Relationship.PEER, Relationship.PEER),
+        ],
+    )
+    def test_inverse(self, rel, inv):
+        assert rel.inverse() is inv
+        assert rel.inverse().inverse() is rel
+
+
+class TestRouteClass:
+    def test_lp_order(self):
+        # the LP step: customer > peer > provider (smaller = better).
+        assert RouteClass.CUSTOMER < RouteClass.PEER < RouteClass.PROVIDER
+
+    def test_next_hop_mapping(self):
+        assert ROUTE_CLASS_OF_NEXT_HOP[Relationship.CUSTOMER] is RouteClass.CUSTOMER
+        assert ROUTE_CLASS_OF_NEXT_HOP[Relationship.PEER] is RouteClass.PEER
+        assert ROUTE_CLASS_OF_NEXT_HOP[Relationship.PROVIDER] is RouteClass.PROVIDER
+
+
+class TestExportRule:
+    """Ex (Section 2.2.1): customer routes go to everyone; everything
+    else goes only to customers."""
+
+    @pytest.mark.parametrize("neighbor", list(Relationship))
+    def test_customer_routes_exported_everywhere(self, neighbor):
+        assert exports_to(RouteClass.CUSTOMER, neighbor)
+
+    @pytest.mark.parametrize(
+        "route_class", [RouteClass.PEER, RouteClass.PROVIDER]
+    )
+    def test_non_customer_routes_only_to_customers(self, route_class):
+        assert exports_to(route_class, Relationship.CUSTOMER)
+        assert not exports_to(route_class, Relationship.PEER)
+        assert not exports_to(route_class, Relationship.PROVIDER)
+
+    def test_no_valley_routes_possible(self):
+        # a provider route followed by an export to a peer would create
+        # a "valley"; Ex forbids it.
+        assert not exports_to(RouteClass.PROVIDER, Relationship.PEER)

@@ -1,0 +1,78 @@
+"""Tests for the ASCII report renderers."""
+
+from repro.core import Interval
+from repro.experiments.report import (
+    format_table,
+    interval_series,
+    partition_bars,
+    sequence_summary,
+    stacked_bar,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 0.5], ["long-name", 0.25]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_percent_formatting(self):
+        text = format_table(["x"], [[0.125]])
+        assert "12.5%" in text
+
+    def test_interval_cells(self):
+        text = format_table(["x"], [[Interval(0.1, 0.2)]])
+        assert "10.0%" in text and "20.0%" in text
+
+
+class TestStackedBar:
+    def test_widths_proportional(self):
+        bar = stacked_bar({"immune": 0.5, "doomed": 0.5}, width=10)
+        assert bar == "IIIIIDDDDD"
+
+    def test_padding_with_dots(self):
+        bar = stacked_bar({"immune": 0.3}, width=10)
+        assert bar.startswith("III")
+        assert bar.endswith(".......")
+
+    def test_marker_inserted(self):
+        bar = stacked_bar({"immune": 1.0}, width=10, marker=0.5)
+        assert bar[5] == "|"
+
+    def test_never_overflows(self):
+        bar = stacked_bar({"a": 0.7, "b": 0.7}, width=10)
+        assert len(bar) == 10
+
+
+class TestPartitionBars:
+    def test_rows_rendered(self):
+        text = partition_bars(
+            [("T1", 0.4, 0.1, 0.5, 0.6), ("STUB", 0.6, 0.2, 0.2, None)]
+        )
+        assert "T1" in text and "STUB" in text
+        assert "I=" in text and "D=" in text
+
+
+class TestIntervalSeries:
+    def test_bands_rendered(self):
+        text = interval_series(
+            [("step1", Interval(0.0, 0.1)), ("step2", Interval(0.1, 0.3))]
+        )
+        assert "step1" in text and "[" in text and "]" in text
+
+    def test_empty(self):
+        assert interval_series([]) == "(no data)"
+
+
+class TestSequenceSummary:
+    def test_quantiles(self):
+        deltas = [Interval(i / 10, i / 10) for i in range(11)]
+        rows = sequence_summary("m", deltas, buckets=2)
+        assert len(rows) == 3
+        assert rows[0][1].strip().startswith("+0.0%")
+
+    def test_empty(self):
+        rows = sequence_summary("m", [])
+        assert rows == [("m", "(no destinations)")]

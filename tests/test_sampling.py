@@ -1,0 +1,97 @@
+"""Unit tests for the attacker/destination samplers."""
+
+import random
+
+import pytest
+
+from repro.experiments import sampling
+from repro.topology import Tier
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(123)
+
+
+class TestSamplePairs:
+    def test_no_self_pairs(self, rng):
+        pairs = sampling.sample_pairs(rng, [1, 2, 3], [1, 2, 3], 50)
+        assert all(m != d for m, d in pairs)
+
+    def test_deduplicated_and_sorted(self, rng):
+        pairs = sampling.sample_pairs(rng, [1, 2], [1, 2], 100)
+        assert pairs == sorted(set(pairs))
+        assert set(pairs) <= {(1, 2), (2, 1)}
+
+    def test_count_respected_on_large_population(self, rng):
+        population = list(range(100))
+        pairs = sampling.sample_pairs(rng, population, population, 30)
+        assert len(pairs) == 30
+
+    def test_empty_population(self, rng):
+        assert sampling.sample_pairs(rng, [], [1], 10) == []
+        assert sampling.sample_pairs(rng, [1], [], 10) == []
+
+    def test_deterministic_for_seed(self):
+        population = list(range(50))
+        a = sampling.sample_pairs(random.Random(9), population, population, 20)
+        b = sampling.sample_pairs(random.Random(9), population, population, 20)
+        assert a == b
+
+
+class TestSampleMembers:
+    def test_whole_population_when_small(self, rng):
+        assert sampling.sample_members(rng, [5, 3, 1], 10) == [1, 3, 5]
+
+    def test_subset_without_replacement(self, rng):
+        members = sampling.sample_members(rng, list(range(100)), 12)
+        assert len(members) == 12
+        assert len(set(members)) == 12
+        assert members == sorted(members)
+
+
+class TestNonstubAttackers:
+    def test_matches_tier_table(self, small_tiers):
+        attackers = sampling.nonstub_attackers(small_tiers)
+        assert set(attackers) == set(small_tiers.non_stubs())
+        stub_buckets = set(small_tiers.stubs())
+        assert not (set(attackers) & stub_buckets)
+
+
+class TestTierBucketedPairs:
+    def test_destination_tier_buckets(self, rng, small_graph, small_tiers):
+        pair_map = sampling.pairs_by_destination_tier(
+            rng, small_tiers, small_graph.asns, 3, 4
+        )
+        for tier, pairs in pair_map.items():
+            for attacker, destination in pairs:
+                assert small_tiers[destination] is tier
+                assert attacker != destination
+
+    def test_attacker_tier_buckets(self, rng, small_graph, small_tiers):
+        pair_map = sampling.pairs_by_attacker_tier(
+            rng, small_tiers, small_graph.asns, 3, 4
+        )
+        for tier, pairs in pair_map.items():
+            for attacker, destination in pairs:
+                assert small_tiers[attacker] is tier
+                assert attacker != destination
+
+    def test_budgets_respected(self, rng, small_graph, small_tiers):
+        pair_map = sampling.pairs_by_destination_tier(
+            rng, small_tiers, small_graph.asns, 2, 3
+        )
+        for pairs in pair_map.values():
+            assert len(pairs) <= 2 * 3
+
+    def test_all_populated_tiers_present(self, rng, small_graph, small_tiers):
+        pair_map = sampling.pairs_by_destination_tier(
+            rng, small_tiers, small_graph.asns, 2, 2
+        )
+        populated = {t for t in Tier if small_tiers.members(t)}
+        assert set(pair_map) == populated
+
+    def test_source_tier_population_helper(self, small_tiers):
+        populations = sampling.pairs_by_source_tier_population(small_tiers)
+        for tier, members in populations.items():
+            assert members == frozenset(small_tiers.members(tier))
