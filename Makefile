@@ -1,0 +1,21 @@
+# Convenience entry points; see README.md.
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-micro golden
+
+## tier-1 test suite (the CI gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## routing perf trajectory: updates BENCH_routing.json, fails below 3x
+bench:
+	$(PYTHON) benchmarks/bench_routing.py
+
+## full pytest-benchmark microbenchmark harness
+bench-micro:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+## regenerate the golden metric fixtures (inspect the diff!)
+golden:
+	$(PYTHON) tests/test_golden_metrics.py --regen

@@ -1,0 +1,154 @@
+"""Routing-engine benchmark: flat-array engine vs. the seed engine.
+
+Measures the batched pair sweep that dominates every experiment — the
+paper's metric runs one stable-state computation per (attacker,
+destination) pair — and records the trajectory in ``BENCH_routing.json``
+at the repository root, so perf regressions (or wins) are visible in
+diffs from this PR onward.
+
+Run via ``make bench`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_routing.py [--scale small] [--pairs 100]
+
+The seed engine (:mod:`repro.core.refimpl`, kept verbatim from the
+pre-rewrite repository) is timed on a subset of the sweep and its
+per-pair cost extrapolated, so the speedup column keeps meaning as the
+flat engine gets faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import time
+from pathlib import Path
+
+from repro import core, topology
+from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+from repro.experiments.config import get_scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_routing.json"
+
+#: Acceptance floor: the batched sweep must beat the seed engine by this.
+REQUIRED_SPEEDUP = 3.0
+
+
+def sample_pairs(asns: list[int], count: int, seed: int) -> list[tuple[int, int]]:
+    rnd = random.Random(seed)
+    pairs: list[tuple[int, int]] = []
+    while len(pairs) < count:
+        m, d = rnd.choice(asns), rnd.choice(asns)
+        if m != d:
+            pairs.append((m, d))
+    return pairs
+
+
+def run(scale_name: str, num_pairs: int, seed: int) -> dict:
+    scale = get_scale(scale_name)
+    topo = topology.generate_topology(topology.TopologyParams(n=scale.n, seed=seed))
+    graph = topo.graph
+    tiers = topology.classify_tiers(graph)
+    deployment = core.tier12_rollout(graph, tiers)[-1].deployment
+    model = core.SECURITY_SECOND
+    pairs = sample_pairs(graph.asns, num_pairs, seed + 1)
+
+    ctx = core.RoutingContext(graph)
+    ref_ctx = RefRoutingContext(graph)
+
+    # Seed engine: a subset is enough for a stable per-pair estimate.
+    seed_pairs = pairs[: max(10, num_pairs // 4)]
+    t0 = time.perf_counter()
+    seed_counts = [
+        ref_compute_routing_outcome(ref_ctx, d, m, deployment, model).count_happy()
+        for m, d in seed_pairs
+    ]
+    seed_elapsed = time.perf_counter() - t0
+    seed_per_pair = seed_elapsed / len(seed_pairs)
+
+    # Flat engine, per-call (snapshot included).
+    t0 = time.perf_counter()
+    flat_counts = [
+        core.compute_routing_outcome(ctx, d, m, deployment, model).count_happy()
+        for m, d in pairs
+    ]
+    flat_call_elapsed = time.perf_counter() - t0
+
+    # Flat engine, batched count-only sweep (the metric hot path).
+    t0 = time.perf_counter()
+    batch = core.batch_happiness_counts(ctx, pairs, deployment, model)
+    batch_elapsed = time.perf_counter() - t0
+
+    batch_counts = [(lo, up) for lo, up, _ in batch]
+    assert flat_counts == batch_counts, "flat per-call and batched sweeps disagree"
+    assert seed_counts == flat_counts[: len(seed_pairs)], (
+        "flat engine disagrees with the seed engine"
+    )
+
+    per_pair_us = batch_elapsed / len(pairs) * 1e6
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "benchmark": "routing_batched_sweep",
+        "commit": commit,
+        "python": platform.python_version(),
+        "scale": scale_name,
+        "n_ases": scale.n,
+        "seed": seed,
+        "num_pairs": len(pairs),
+        "model": model.label,
+        "deployment_size": deployment.size,
+        "seed_engine": {
+            "pairs_measured": len(seed_pairs),
+            "per_pair_us": round(seed_per_pair * 1e6, 1),
+            "pairs_per_sec": round(1.0 / seed_per_pair, 1),
+        },
+        "flat_engine_per_call": {
+            "per_pair_us": round(flat_call_elapsed / len(pairs) * 1e6, 1),
+            "pairs_per_sec": round(len(pairs) / flat_call_elapsed, 1),
+        },
+        "flat_engine_batched": {
+            "per_pair_us": round(per_pair_us, 1),
+            "pairs_per_sec": round(len(pairs) / batch_elapsed, 1),
+        },
+        "speedup_batched_vs_seed": round(seed_per_pair * len(pairs) / batch_elapsed, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", help="experiment scale name")
+    parser.add_argument("--pairs", type=int, default=100, help="pairs in the sweep")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="where to write the JSON record"
+    )
+    args = parser.parse_args()
+    if args.pairs < 1:
+        parser.error("--pairs must be >= 1")
+    record = run(args.scale, args.pairs, args.seed)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    speedup = record["speedup_batched_vs_seed"]
+    if speedup < REQUIRED_SPEEDUP:
+        raise SystemExit(
+            f"batched sweep speedup {speedup:.2f}x is below the "
+            f"required {REQUIRED_SPEEDUP}x floor"
+        )
+    print(f"\nwrote {args.output} (speedup {speedup:.2f}x >= {REQUIRED_SPEEDUP}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,21 @@ def bench_deployment(bench_graph, bench_tiers):
 
 
 @pytest.fixture(scope="session")
+def bench_pairs(bench_graph):
+    """A seeded 16-pair (attacker, destination) sweep for batched benches."""
+    import random
+
+    rnd = random.Random(2013)
+    asns = bench_graph.asns
+    pairs = []
+    while len(pairs) < 16:
+        m, d = rnd.choice(asns), rnd.choice(asns)
+        if m != d:
+            pairs.append((m, d))
+    return pairs
+
+
+@pytest.fixture(scope="session")
 def experiment_context():
     """Tiny-scale experiment context shared by the per-figure benches."""
     return make_context(scale="tiny", seed=2013)

@@ -32,6 +32,42 @@ def test_routing_outcome_security_second(
     assert result.count_happy()[0] >= 0
 
 
+def test_routing_outcome_seed_reference(benchmark, bench_graph, bench_pair, bench_deployment):
+    """The seed dict-based engine, for the perf-trajectory comparison."""
+    from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+
+    attacker, destination = bench_pair
+    ref_ctx = RefRoutingContext(bench_graph)
+    result = benchmark(
+        ref_compute_routing_outcome,
+        ref_ctx,
+        destination,
+        attacker,
+        bench_deployment,
+        core.SECURITY_SECOND,
+    )
+    assert result.count_happy()[0] >= 0
+
+
+def test_batched_sweep_security_second(benchmark, bench_ctx, bench_pairs, bench_deployment):
+    """The batched fast path: one fixing pass per pair, shared scratch."""
+    result = benchmark(
+        core.batch_happiness_counts,
+        bench_ctx,
+        bench_pairs,
+        bench_deployment,
+        core.SECURITY_SECOND,
+    )
+    assert len(result) == len(bench_pairs)
+    assert all(lo <= up <= ns for lo, up, ns in result)
+
+
+def test_batched_sweep_outcomes_baseline(benchmark, bench_ctx, bench_pairs):
+    """Batched sweep materializing full outcomes (snapshot cost included)."""
+    result = benchmark(core.batch_outcomes, bench_ctx, bench_pairs)
+    assert len(result) == len(bench_pairs)
+
+
 def test_routing_context_build(benchmark, bench_graph):
     ctx = benchmark(core.RoutingContext, bench_graph)
     assert len(ctx.asns) == len(bench_graph)

@@ -4,6 +4,9 @@ from .rank import (
     BASELINE,
     CLASSIC_LP,
     LP2,
+    PACK_SHIFT,
+    pack_key,
+    unpack_key,
     SECURITY_FIRST,
     SECURITY_MODELS,
     SECURITY_SECOND,
@@ -30,6 +33,8 @@ from .routing import (
     RouteInfo,
     RoutingContext,
     RoutingOutcome,
+    batch_happiness_counts,
+    batch_outcomes,
     compute_routing_outcome,
     normal_conditions,
 )
@@ -45,6 +50,7 @@ from .metrics import (
     Interval,
     MetricResult,
     attack_happiness,
+    batch_happiness,
     metric_for_destination,
     metric_improvement,
     security_metric,
@@ -84,6 +90,9 @@ __all__ = [
     "LP2",
     "SURVEY_POPULARITY",
     "lp2_variant",
+    "PACK_SHIFT",
+    "pack_key",
+    "unpack_key",
     # deployment
     "Deployment",
     "RolloutStep",
@@ -101,6 +110,8 @@ __all__ = [
     "RoutingOutcome",
     "compute_routing_outcome",
     "normal_conditions",
+    "batch_outcomes",
+    "batch_happiness_counts",
     # perceivable / partitions
     "ClassReach",
     "AttackCloseures",
@@ -115,6 +126,7 @@ __all__ = [
     "AttackHappiness",
     "MetricResult",
     "attack_happiness",
+    "batch_happiness",
     "security_metric",
     "metric_for_destination",
     "metric_improvement",

@@ -74,16 +74,10 @@ def downgrade_analysis(
     attack_outcome = compute_routing_outcome(
         ctx, destination, attacker=attacker, deployment=deployment, model=model
     )
-    secure_normal = frozenset(
-        asn
-        for asn in normal_outcome.sources()
-        if asn != attacker and normal_outcome.uses_secure_route(asn)
-    )
-    secure_attack = frozenset(
-        asn
-        for asn in attack_outcome.sources()
-        if attack_outcome.uses_secure_route(asn)
-    )
+    # The attacker is a source of the normal-conditions outcome but not
+    # of the attack outcome; drop it so the two sets are comparable.
+    secure_normal = normal_outcome.secure_sources() - {attacker}
+    secure_attack = attack_outcome.secure_sources()
     return DowngradeAnalysis(
         attacker=attacker,
         destination=destination,
@@ -126,10 +120,8 @@ def secure_route_fate(
     normal_outcome = compute_routing_outcome(
         ctx, destination, attacker=None, deployment=deployment, model=model
     )
-    num_sources = len(ctx.asns) - 1
-    secure_normal = frozenset(
-        asn for asn in normal_outcome.sources() if normal_outcome.uses_secure_route(asn)
-    )
+    num_sources = ctx.n - 1
+    secure_normal = normal_outcome.secure_sources()
     if num_sources == 0 or not attackers:
         return SecureRouteFate(destination, 0.0, 0.0, 0.0, 0.0)
 

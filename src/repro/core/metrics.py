@@ -25,7 +25,11 @@ from typing import Callable, Iterable, Sequence
 from ..topology.graph import ASGraph
 from .deployment import Deployment
 from .rank import RankModel
-from .routing import RoutingContext, compute_routing_outcome
+from .routing import (
+    RoutingContext,
+    batch_happiness_counts,
+    compute_routing_outcome,
+)
 
 #: A mapper with the semantics of builtin ``map`` — swap in
 #: ``multiprocessing.Pool.imap`` (via :mod:`repro.experiments.runner`)
@@ -35,7 +39,29 @@ Mapper = Callable[..., Iterable]
 
 @dataclass(frozen=True)
 class Interval:
-    """A [lower, upper] bound pair on a fraction."""
+    """A [lower, upper] bound pair on a fraction.
+
+    Two *different* difference semantics exist, and they are not
+    interchangeable:
+
+    * :meth:`__sub__` is the **conservative interval difference**
+      ``[a.lower − b.upper, a.upper − b.lower]`` of interval
+      arithmetic: it contains every value ``x − y`` with ``x ∈ a``,
+      ``y ∈ b``.  Use it when the two intervals' tiebreaks are
+      genuinely independent.
+    * :meth:`bound_delta` is the **bound-wise delta**
+      ``sorted(a.lower − b.lower, a.upper − b.upper)`` used by
+      ``metric_improvement`` / ``ExperimentContext.metric_delta``:
+      the paper's Figures 7-12 plot the increase of each *bound* of
+      ``H_{M,D}``, not a conservative difference — under the common
+      tiebreak conventions the lower bounds of both metrics refer to
+      the *same* adversarial tiebreak, so subtracting bound-wise is the
+      meaningful (and much tighter) quantity.
+
+    Historically ``metric_improvement`` computed the bound-wise delta
+    inline while ``__sub__`` sat unused with the other semantics — an
+    easy trap.  Both are now named, documented and tested.
+    """
 
     lower: float
     upper: float
@@ -53,8 +79,17 @@ class Interval:
         return (self.lower + self.upper) / 2.0
 
     def __sub__(self, other: "Interval") -> "Interval":
-        """Conservative interval difference (used for metric deltas)."""
+        """Conservative interval difference (contains every x − y)."""
         return Interval(self.lower - other.upper, self.upper - other.lower)
+
+    def bound_delta(self, other: "Interval") -> "Interval":
+        """Bound-wise delta ``self − other`` (the Figures 7-12 quantity).
+
+        Subtracts lower from lower and upper from upper, then orders the
+        two results into a valid interval.
+        """
+        deltas = (self.lower - other.lower, self.upper - other.upper)
+        return Interval(min(deltas), max(deltas))
 
     def shift(self, value: float) -> "Interval":
         return Interval(self.lower - value, self.upper - value)
@@ -137,13 +172,45 @@ def security_metric(
         the per-pair happy fractions.
     """
     ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
-    results = tuple(
-        mapper(
-            _happiness_task,
-            ((ctx, m, d, deployment, model) for (m, d) in pairs),
+    if mapper is map:
+        # Batched fast path: one fixing pass per pair over the context's
+        # reusable scratch buffers, no outcome materialization.
+        results = tuple(batch_happiness(ctx, pairs, deployment, model))
+    else:
+        results = tuple(
+            mapper(
+                _happiness_task,
+                ((ctx, m, d, deployment, model) for (m, d) in pairs),
+            )
         )
-    )
     return MetricResult(value=_mean_interval(results), per_pair=results)
+
+
+def batch_happiness(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int, int]],
+    deployment: Deployment,
+    model: RankModel,
+) -> list[AttackHappiness]:
+    """Happy-source counts for many ``(m, d)`` pairs in one sweep.
+
+    Amortizes deployment-mask construction and scratch-buffer reuse
+    across the whole pair list (see
+    :func:`repro.core.routing.batch_happiness_counts`).  This is what
+    each worker of :mod:`repro.experiments.runner` runs on its chunk.
+    """
+    pairs = list(pairs)  # consumed twice below; accept one-shot iterables
+    counts = batch_happiness_counts(topology, pairs, deployment, model)
+    return [
+        AttackHappiness(
+            attacker=m,
+            destination=d,
+            happy_lower=lower,
+            happy_upper=upper,
+            num_sources=num_sources,
+        )
+        for (m, d), (lower, upper, num_sources) in zip(pairs, counts)
+    ]
 
 
 def _happiness_task(args: tuple) -> AttackHappiness:
@@ -196,14 +263,4 @@ def metric_improvement(
             ctx, pairs, Deployment.empty(), model, mapper=mapper
         )
     secured = security_metric(ctx, pairs, deployment, model, mapper=mapper)
-    delta = Interval(
-        min(
-            secured.value.lower - baseline.value.lower,
-            secured.value.upper - baseline.value.upper,
-        ),
-        max(
-            secured.value.lower - baseline.value.lower,
-            secured.value.upper - baseline.value.upper,
-        ),
-    )
-    return delta, secured, baseline
+    return secured.value.bound_delta(baseline.value), secured, baseline

@@ -153,25 +153,35 @@ def compute_partitions(
     return _partitions_security_first(ctx, attacker, destination, closures, model)
 
 
+_CATEGORY_OF_REACH = {
+    int(Reach.NONE): Category.DISCONNECTED,
+    int(Reach.DEST): Category.IMMUNE,
+    int(Reach.ATTACKER): Category.DOOMED,
+    int(Reach.BOTH): Category.PROTECTABLE,
+}
+
+
 def _partitions_from_bpr_endpoints(
     ctx: RoutingContext, outcome: RoutingOutcome, model: RankModel
 ) -> PartitionResult:
-    """Security 3rd: classify by the endpoints of the S=∅ BPR set."""
+    """Security 3rd: classify by the endpoints of the S=∅ BPR set.
+
+    Reads the outcome's flat reach array directly (one byte per AS)
+    instead of materializing per-AS route views.
+    """
     category_of: dict[int, Category] = {}
     attacker = outcome.attacker
     destination = outcome.destination
-    for asn in ctx.asns:
-        if asn == attacker or asn == destination:
+    reach = outcome._reach
+    fixed = outcome._fixed
+    cat = _CATEGORY_OF_REACH
+    asn_of = ctx.asns
+    dest_i = outcome._dest_i
+    att_i = outcome._att_i
+    for i in range(ctx.n):
+        if i == dest_i or i == att_i:
             continue
-        reaches = outcome.reaches(asn)
-        if reaches == Reach.DEST:
-            category_of[asn] = Category.IMMUNE
-        elif reaches == Reach.ATTACKER:
-            category_of[asn] = Category.DOOMED
-        elif reaches == Reach.BOTH:
-            category_of[asn] = Category.PROTECTABLE
-        else:
-            category_of[asn] = Category.DISCONNECTED
+        category_of[asn_of[i]] = cat[reach[i]] if fixed[i] else Category.DISCONNECTED
     return PartitionResult(attacker, destination, model, category_of)  # type: ignore[arg-type]
 
 
@@ -192,46 +202,44 @@ def _partitions_security_second(
     attacker = outcome.attacker
     destination = outcome.destination
     assert attacker is not None
-    neighbor_sets = {
-        RouteClass.CUSTOMER: ctx.customers_of,
-        RouteClass.PEER: ctx.peers_of,
-        RouteClass.PROVIDER: ctx.providers_of,
-    }
-    for asn in ctx.asns:
-        if asn == attacker or asn == destination:
+    neighbor_sets = (ctx.customers_idx, ctx.peers_idx, ctx.providers_idx)
+    fixed = outcome._fixed
+    cls = outcome._cls
+    reach_arr = outcome._reach
+    asn_of = ctx.asns
+    dest_i = outcome._dest_i
+    att_i = outcome._att_i
+    cat = _CATEGORY_OF_REACH
+    customer_cls = int(RouteClass.CUSTOMER)
+    provider_cls = int(RouteClass.PROVIDER)
+    for i in range(ctx.n):
+        if i == dest_i or i == att_i:
             continue
-        info = outcome.routes.get(asn)
-        if info is None or info.route_class is None:
-            category_of[asn] = Category.DISCONNECTED
+        if not fixed[i]:
+            category_of[asn_of[i]] = Category.DISCONNECTED
             continue
-        route_class = info.route_class
-        reach = Reach.NONE
-        for nbr in neighbor_sets[route_class][asn]:
-            if nbr == destination:
-                reach |= Reach.DEST
+        route_class = cls[i]
+        from_provider = route_class == provider_cls
+        reach = 0
+        for nbr in neighbor_sets[route_class][i]:
+            if nbr == dest_i:
+                reach |= 1
                 continue
-            if nbr == attacker:
-                reach |= Reach.ATTACKER
+            if nbr == att_i:
+                reach |= 2
                 continue
-            nbr_info = outcome.routes.get(nbr)
-            if nbr_info is None or nbr_info.route_class is None:
+            if not fixed[nbr]:
                 continue
             # Ex: the neighbor offers its fixed route to ``asn`` only if
             # it is a customer route or ``asn`` is its customer.
-            if (
-                nbr_info.route_class is not RouteClass.CUSTOMER
-                and route_class is not RouteClass.PROVIDER
-            ):
+            if cls[nbr] != customer_cls and not from_provider:
                 continue
-            reach |= nbr_info.reaches
-        if reach == Reach.DEST:
-            category_of[asn] = Category.IMMUNE
-        elif reach == Reach.ATTACKER:
-            category_of[asn] = Category.DOOMED
-        elif reach == Reach.BOTH:
-            category_of[asn] = Category.PROTECTABLE
-        else:  # pragma: no cover - the AS is fixed, so some neighbor offers
-            category_of[asn] = Category.DISCONNECTED
+            reach |= reach_arr[nbr]
+            if reach == 3:
+                break
+        # reach == 0 would mean a fixed AS whose every neighbor
+        # withholds, which monotone fixing rules out (maps DISCONNECTED).
+        category_of[asn_of[i]] = cat[reach]
     return PartitionResult(attacker, destination, model, category_of)
 
 

@@ -76,6 +76,12 @@ def perceivable_closures(
 ) -> ClassReach:
     """Compute the per-class perceivable-route closures toward ``endpoint``.
 
+    Runs in the routing context's dense index space: membership flags
+    live in flat bytearrays (one byte per AS) rather than hash sets, and
+    the per-relationship index adjacency replaces dict lookups, which
+    makes the closures cheap enough to evaluate per attack pair at
+    scale.  ASNs only reappear in the returned frozensets.
+
     Args:
         topology: the AS graph or a prebuilt routing context.
         endpoint: the root the routes lead to (``d`` or ``m``).
@@ -85,43 +91,59 @@ def perceivable_closures(
         A :class:`ClassReach`; the roots themselves are excluded.
     """
     ctx = _as_context(topology)
-    if endpoint not in ctx.providers_of:
+    end_i = ctx.index_of.get(endpoint)
+    if end_i is None:
         raise ValueError(f"endpoint AS {endpoint} not in graph")
-    excluded = {endpoint, avoid} if avoid is not None else {endpoint}
+    n = ctx.n
+    avoid_i = ctx.index_of.get(avoid, -1) if avoid is not None else -1
+    excluded = bytearray(n)
+    excluded[end_i] = 1
+    if avoid_i >= 0:
+        excluded[avoid_i] = 1
+    providers_idx = ctx.providers_idx
+    peers_idx = ctx.peers_idx
+    customers_idx = ctx.customers_idx
 
     # Customer closure: BFS upward from the endpoint along c2p edges.
-    customer: set[int] = set()
-    queue = deque((endpoint,))
+    in_customer = bytearray(n)
+    customer: list[int] = []
+    queue = deque((end_i,))
     while queue:
         u = queue.popleft()
-        for p in ctx.providers_of[u]:
-            if p not in customer and p not in excluded:
-                customer.add(p)
+        for p in providers_idx[u]:
+            if not in_customer[p] and not excluded[p]:
+                in_customer[p] = 1
+                customer.append(p)
                 queue.append(p)
 
     # Peer closure: one peering hop off the customer closure (or endpoint).
-    exporters = customer | {endpoint}
-    peer: set[int] = set()
-    for u in exporters:
-        for q in ctx.peers_of[u]:
-            if q not in excluded:
-                peer.add(q)
+    in_peer = bytearray(n)
+    peer: list[int] = []
+    for u in customer + [end_i]:
+        for q in peers_idx[u]:
+            if not in_peer[q] and not excluded[q]:
+                in_peer[q] = 1
+                peer.append(q)
 
     # Provider closure: downward propagation from any reachable AS.
-    provider: set[int] = set()
-    seeds = customer | peer | {endpoint}
-    queue = deque(seeds)
+    in_provider = bytearray(n)
+    provider: list[int] = []
+    queue = deque(customer)
+    queue.extend(peer)
+    queue.append(end_i)
     while queue:
         u = queue.popleft()
-        for c in ctx.customers_of[u]:
-            if c not in provider and c not in excluded:
-                provider.add(c)
+        for c in customers_idx[u]:
+            if not in_provider[c] and not excluded[c]:
+                in_provider[c] = 1
+                provider.append(c)
                 queue.append(c)
+    asn_of = ctx.asns
     return ClassReach(
         endpoint=endpoint,
-        customer=frozenset(customer),
-        peer=frozenset(peer),
-        provider=frozenset(provider),
+        customer=frozenset(asn_of[i] for i in customer),
+        peer=frozenset(asn_of[i] for i in peer),
+        provider=frozenset(asn_of[i] for i in provider),
     )
 
 

@@ -127,15 +127,32 @@ def pair_root_cause(
     happy_baseline = 0
     happy_deployed = 0
 
-    for asn in ctx.asns:
-        if asn == attacker or asn == destination:
+    # All three outcomes share ctx's dense index space, so the per-AS
+    # classification walks flat arrays instead of per-AS route lookups.
+    asn_of = ctx.asns
+    dest_i = deployed_attack._dest_i
+    att_i = deployed_attack._att_i
+    base_fixed = baseline_attack._fixed
+    base_reach = baseline_attack._reach
+    dep_fixed = deployed_attack._fixed
+    dep_reach = deployed_attack._reach
+    dep_sec = deployed_attack._sec
+    norm_fixed = deployed_normal._fixed
+    norm_sec = deployed_normal._sec
+    ranking = ctx.deployment_masks(deployment)[1]
+
+    for i in range(ctx.n):
+        if i == dest_i or i == att_i:
             continue
-        was_happy = baseline_attack.happy_lower(asn)
-        now_happy = deployed_attack.happy_lower(asn)
+        was_happy = bool(base_fixed[i]) and base_reach[i] == 1
+        now_happy = bool(dep_fixed[i]) and dep_reach[i] == 1
         happy_baseline += was_happy
         happy_deployed += now_happy
-        had_secure = deployed_normal.uses_secure_route(asn)
-        has_secure = deployed_attack.uses_secure_route(asn)
+        had_secure = bool(norm_fixed[i]) and bool(norm_sec[i])
+        has_secure = bool(dep_fixed[i]) and bool(dep_sec[i])
+        if not (was_happy or now_happy or had_secure or has_secure):
+            continue
+        asn = asn_of[i]
         if had_secure:
             secure_normal.add(asn)
             if not has_secure:
@@ -146,12 +163,12 @@ def pair_root_cause(
             else:
                 protected.add(asn)
         if now_happy and not was_happy and not has_secure:
-            if asn in deployment.ranking_members:
+            if ranking[i]:
                 other_gains.add(asn)
             else:
                 benefit.add(asn)
         if was_happy and not now_happy:
-            if asn in deployment.ranking_members:
+            if ranking[i]:
                 other_losses.add(asn)
             else:
                 damage.add(asn)

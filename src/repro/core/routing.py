@@ -12,10 +12,7 @@ security model).  We implement all of them with a single Dijkstra-style
 
 * the key of a route is strictly larger than the key of the route it
   extends (monotonicity, proven in ``tests/test_rank.py``), so fixing
-  ASes in global key order is exactly the staged-BFS order — e.g. for
-  security 2nd the keys ``(customer, secure, len)`` < ``(customer,
-  insecure, len)`` < ``(peer, …)`` < ``(provider, secure, …)`` < …
-  reproduce the FSCR → FCR → FPeeR → FSPrvR → FPrvR schedule;
+  ASes in global key order is exactly the staged-BFS order;
 * the export rule ``Ex`` is applied on every relaxation;
 * all equally-best routes are retained, so each AS ends with its ``BPR``
   set: the routes preferred before the tiebreak step ``TB``.
@@ -26,19 +23,52 @@ endpoints its BPR set can reach (``DEST``, ``ATTACKER`` or both); the
 and lower bounds disagree on.  A deterministic tiebreak (lowest next-hop
 ASN) is also tracked so outcomes can be cross-validated against the
 message-passing simulator in :mod:`repro.bgpsim`.
+
+**Engine layout.**  The paper's headline metric averages one such
+computation per (attacker, destination) pair over ``O(|V|²)`` pairs
+(Appendix H ran them on supercomputers), so the per-pair constant factor
+governs the cost of every figure.  :class:`RoutingContext` therefore
+maps ASNs onto dense indices ``0..n-1`` once per graph and stores the
+adjacency as flat CSR buffers (``adj_start``/``adj_node`` arrays plus
+``adj_class``/``adj_custflag`` bytearrays); the fixing pass runs
+entirely in index space over *reusable scratch buffers* owned by the
+context — key/length/reach/secure arrays are reset between pairs
+instead of reallocated, rank keys are packed machine-word ints
+(:func:`repro.core.rank.pack_key`) instead of tuples, and heap entries
+pack ``(key, index)`` into a single int.  :class:`RouteInfo` and the
+per-AS mapping :attr:`RoutingOutcome.routes` are preserved as a thin
+lazily-materialized view over the flat result arrays, so callers keep
+the seed API.  :func:`batch_outcomes` and the count-only fast paths
+amortize deployment-mask construction across whole pair sweeps.  The
+original dict-based engine survives verbatim in
+:mod:`repro.core.refimpl` for differential testing.
+
+The context's scratch buffers make routing computations *not*
+thread-safe per context; fork-based multiprocessing (the experiment
+runner's strategy) is safe because each worker gets its own
+copy-on-write context.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import Iterator
+from array import array
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 from ..topology.graph import ASGraph
 from ..topology.relationships import RouteClass
 from .deployment import Deployment
-from .rank import BASELINE, RankKey, RankModel
+from .rank import BASELINE, PACK_SHIFT, RankKey, RankModel
+
+_IDX_MASK = (1 << PACK_SHIFT) - 1
+#: Larger than any packed rank key (keys use 3 * PACK_SHIFT = 63 bits).
+_INF = 1 << 66
+
+#: Shared empty deployment so default-argument calls hit the mask cache.
+_EMPTY_DEPLOYMENT = Deployment.empty()
 
 
 class Reach(enum.IntFlag):
@@ -82,131 +112,659 @@ class RouteInfo:
 
 
 class RoutingContext:
-    """Preprocessed adjacency for fast repeated routing computations.
+    """Dense-indexed adjacency plus reusable scratch for routing passes.
 
-    Build once per graph; every entry of ``out_edges[u]`` is
-    ``(v, route_class_for_v, v_is_customer_of_u)`` where
-    ``route_class_for_v`` is the class v assigns to a route learned from
-    u.  The context never mutates the graph.
+    Build once per graph.  ASNs are mapped onto contiguous indices
+    ``0..n-1`` via :meth:`ASGraph.dense_index` (sorted-ASN order, so
+    index tiebreaks equal ASN tiebreaks).  The adjacency is stored as
+    flat CSR buffers:
+
+    * ``adj_start`` — ``array('l')`` of length ``n + 1``; node ``u``'s
+      out-edges occupy slots ``adj_start[u]:adj_start[u+1]``;
+    * ``adj_node`` — ``array('l')`` of neighbor indices;
+    * ``adj_class`` — bytearray; the LP class the *neighbor* assigns to
+      a route learned from ``u``;
+    * ``adj_custflag`` — bytearray; 1 iff the neighbor is a customer of
+      ``u`` (the export rule lets non-customer routes flow only there).
+
+    Per-relationship index adjacency (``providers_idx`` etc.) serves
+    the perceivable-closure and partition computations.  The context
+    never mutates the graph; it also owns the scratch buffers of the
+    fixing pass, which makes a single context not thread-safe (fork
+    workers each get a copy-on-write clone, which is safe).
     """
 
-    __slots__ = ("graph", "out_edges", "asns", "providers_of", "customers_of", "peers_of")
+    __slots__ = (
+        "graph",
+        "asns",
+        "index_of",
+        "n",
+        "adj_start",
+        "adj_node",
+        "adj_class",
+        "adj_custflag",
+        "providers_idx",
+        "customers_idx",
+        "peers_idx",
+        "_edges",
+        "_neighbor_dicts",
+        "_out_edges",
+        "_mask_cache",
+        "_zero_mask",
+        "_fixed",
+        "_key",
+        "_cls",
+        "_len",
+        "_reach",
+        "_wire",
+        "_sec",
+        "_choice",
+        "_endpoint",
+        "_nhops",
+        "_key_init",
+        "_zeros",
+        "_choice_init",
+        "_nhops_init",
+        "_last_counts",
+    )
 
     def __init__(self, graph: ASGraph) -> None:
         self.graph = graph
-        self.asns: list[int] = graph.asns
-        self.providers_of: dict[int, tuple[int, ...]] = {}
-        self.customers_of: dict[int, tuple[int, ...]] = {}
-        self.peers_of: dict[int, tuple[int, ...]] = {}
-        out: dict[int, list[tuple[int, int, bool]]] = {a: [] for a in self.asns}
-        for u in self.asns:
-            providers = tuple(sorted(graph.providers(u)))
-            peers = tuple(sorted(graph.peers(u)))
-            customers = tuple(sorted(graph.customers(u)))
-            self.providers_of[u] = providers
-            self.customers_of[u] = customers
-            self.peers_of[u] = peers
+        asn_of, index_of = graph.dense_index()
+        n = len(asn_of)
+        if n >= 1 << PACK_SHIFT:
+            raise ValueError(
+                f"graph has {n} ASes; the packed-key engine supports up to "
+                f"{(1 << PACK_SHIFT) - 1}"
+            )
+        # Copy: dense_index's lists are shared graph-wide caches, and
+        # ctx.asns has always been safe for callers to mutate.
+        self.asns: list[int] = list(asn_of)
+        self.index_of: dict[int, int] = index_of
+        self.n = n
+
+        providers_idx: list[tuple[int, ...]] = []
+        customers_idx: list[tuple[int, ...]] = []
+        peers_idx: list[tuple[int, ...]] = []
+        adj_start = array("l", [0])
+        adj_node = array("l")
+        adj_class = bytearray()
+        adj_custflag = bytearray()
+        edges: list[list[int]] = []
+        cust = int(RouteClass.CUSTOMER)
+        peer = int(RouteClass.PEER)
+        prov = int(RouteClass.PROVIDER)
+        for u, asn in enumerate(asn_of):
+            providers = sorted(index_of[p] for p in graph.providers(asn))
+            peers = sorted(index_of[q] for q in graph.peers(asn))
+            customers = sorted(index_of[c] for c in graph.customers(asn))
+            providers_idx.append(tuple(providers))
+            peers_idx.append(tuple(peers))
+            customers_idx.append(tuple(customers))
+            packed: list[int] = []
+            # A provider p sees a route via its customer u as a customer
+            # route; a peer sees a peer route; a customer a provider route.
             for p in providers:
-                # p sees a route via its customer u as a customer route.
-                out[u].append((p, int(RouteClass.CUSTOMER), False))
+                adj_node.append(p)
+                adj_class.append(cust)
+                adj_custflag.append(0)
+                packed.append((p << 3) | (cust << 1))
             for q in peers:
-                out[u].append((q, int(RouteClass.PEER), False))
+                adj_node.append(q)
+                adj_class.append(peer)
+                adj_custflag.append(0)
+                packed.append((q << 3) | (peer << 1))
             for c in customers:
-                out[u].append((c, int(RouteClass.PROVIDER), True))
-        self.out_edges: dict[int, tuple[tuple[int, int, bool], ...]] = {
-            u: tuple(edges) for u, edges in out.items()
-        }
+                adj_node.append(c)
+                adj_class.append(prov)
+                adj_custflag.append(1)
+                packed.append((c << 3) | (prov << 1) | 1)
+            adj_start.append(len(adj_node))
+            edges.append(packed)
+        self.adj_start = adj_start
+        self.adj_node = adj_node
+        self.adj_class = adj_class
+        self.adj_custflag = adj_custflag
+        self.providers_idx = providers_idx
+        self.customers_idx = customers_idx
+        self.peers_idx = peers_idx
+        #: hot-loop adjacency: per-node lists of ``(v << 3)|(class << 1)|cust``.
+        self._edges = edges
+        self._neighbor_dicts: tuple[dict, dict, dict] | None = None
+        self._out_edges: dict | None = None
+        self._mask_cache: dict = {}
+        self._zero_mask = bytearray(n)
+
+        # Scratch buffers, reset (not reallocated) between pairs.
+        self._fixed = bytearray(n)
+        self._key: list[int] = [_INF] * n
+        self._cls = bytearray(n)
+        self._len: list[int] = [0] * n
+        self._reach = bytearray(n)
+        self._wire = bytearray(n)
+        self._sec = bytearray(n)
+        self._choice: list[int] = [-1] * n
+        self._endpoint = bytearray(n)
+        self._nhops: list[list[int] | None] = [None] * n
+        self._key_init = [_INF] * n
+        self._zeros = bytes(n)
+        self._choice_init = [-1] * n
+        self._nhops_init: list[None] = [None] * n
+        self._last_counts: tuple[int, int, int, int, int, int] = (0,) * 6
+
+    # ------------------------------------------------------------------
+    # ASN-keyed compatibility views (built lazily; the engine itself
+    # works in index space)
+    # ------------------------------------------------------------------
+    def _relationship_dicts(self) -> tuple[dict, dict, dict]:
+        built = self._neighbor_dicts
+        if built is None:
+            asn_of = self.asns
+            providers_of = {}
+            customers_of = {}
+            peers_of = {}
+            for u, asn in enumerate(asn_of):
+                providers_of[asn] = tuple(asn_of[i] for i in self.providers_idx[u])
+                customers_of[asn] = tuple(asn_of[i] for i in self.customers_idx[u])
+                peers_of[asn] = tuple(asn_of[i] for i in self.peers_idx[u])
+            built = self._neighbor_dicts = (providers_of, customers_of, peers_of)
+        return built
+
+    @property
+    def providers_of(self) -> dict[int, tuple[int, ...]]:
+        """ASN → sorted provider ASNs (compatibility view)."""
+        return self._relationship_dicts()[0]
+
+    @property
+    def customers_of(self) -> dict[int, tuple[int, ...]]:
+        """ASN → sorted customer ASNs (compatibility view)."""
+        return self._relationship_dicts()[1]
+
+    @property
+    def peers_of(self) -> dict[int, tuple[int, ...]]:
+        """ASN → sorted peer ASNs (compatibility view)."""
+        return self._relationship_dicts()[2]
+
+    @property
+    def out_edges(self) -> dict[int, tuple[tuple[int, int, bool], ...]]:
+        """ASN-keyed adjacency ``(v, class_for_v, v_is_customer)`` view."""
+        built = self._out_edges
+        if built is None:
+            asn_of = self.asns
+            built = {}
+            for u, asn in enumerate(asn_of):
+                built[asn] = tuple(
+                    (asn_of[e >> 3], (e >> 1) & 3, bool(e & 1))
+                    for e in self._edges[u]
+                )
+            self._out_edges = built
+        return built
+
+    # ------------------------------------------------------------------
+    # Deployment masks
+    # ------------------------------------------------------------------
+    def deployment_masks(self, deployment: Deployment) -> tuple[bytearray, bytearray]:
+        """``(signing, ranking)`` membership masks over dense indices.
+
+        Cached per deployment object (identity-keyed with a strong
+        reference, so ids cannot be recycled) because mask construction
+        is O(n) while a batched sweep reuses the same deployment for
+        thousands of pairs.  Deployment members absent from the graph
+        are ignored, matching the seed engine's set-membership checks.
+        """
+        if deployment.size == 0:
+            zero = self._zero_mask
+            return zero, zero
+        cache = self._mask_cache
+        entry = cache.get(id(deployment))
+        if entry is not None and entry[0] is deployment:
+            return entry[1], entry[2]
+        index_of = self.index_of
+        signing = bytearray(self.n)
+        ranking = bytearray(self.n)
+        get = index_of.get
+        for asn in deployment.full:
+            i = get(asn)
+            if i is not None:
+                signing[i] = 1
+                ranking[i] = 1
+        for asn in deployment.simplex:
+            i = get(asn)
+            if i is not None:
+                signing[i] = 1
+        if len(cache) >= 8:
+            cache.clear()
+        cache[id(deployment)] = (deployment, signing, ranking)
+        return signing, ranking
+
+    # ------------------------------------------------------------------
+    # The fixing pass
+    # ------------------------------------------------------------------
+    def _check_pair(self, destination: int, attacker: int | None) -> tuple[int, int]:
+        dest_i = self.index_of.get(destination)
+        if dest_i is None:
+            raise ValueError(f"destination AS {destination} not in graph")
+        if attacker is None:
+            return dest_i, -1
+        att_i = self.index_of.get(attacker)
+        if att_i is None:
+            raise ValueError(f"attacker AS {attacker} not in graph")
+        if att_i == dest_i:
+            raise ValueError("attacker and destination must differ")
+        return dest_i, att_i
+
+    def _run(
+        self,
+        dest_i: int,
+        att_i: int,
+        signing: bytearray,
+        ranking: bytearray,
+        model: RankModel,
+    ) -> None:
+        """Run one fixing pass over the scratch buffers (``att_i = -1``
+        for normal conditions).  Results live in the scratch arrays and
+        :attr:`_last_counts` until the next run."""
+        n = self.n
+        fixed = self._fixed
+        key_l = self._key
+        cls_b = self._cls
+        len_l = self._len
+        reach_b = self._reach
+        wire_b = self._wire
+        sec_b = self._sec
+        choice_l = self._choice
+        endp_b = self._endpoint
+        nhops = self._nhops
+        # Zero-fill / re-init between pairs instead of reallocating.
+        fixed[:] = self._zeros
+        key_l[:] = self._key_init
+        reach_b[:] = self._zeros
+        wire_b[:] = self._zeros
+        sec_b[:] = self._zeros
+        endp_b[:] = self._zeros
+        choice_l[:] = self._choice_init
+        nhops[:] = self._nhops_init
+
+        coeffs = model.packed_coeffs()
+        if coeffs is not None:
+            cm, lm, sm = coeffs
+            key_fn = None
+        else:
+            cm = lm = sm = 0
+            key_fn = model.packed_key
+        uses_sec = model.uses_security
+
+        edges = self._edges
+        heap: list[int] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+
+        def relax(u: int, exports_all: bool, ln: int, wire_u: int, reach_u: int) -> None:
+            for e in edges[u]:
+                v = e >> 3
+                if fixed[v] or not (exports_all or (e & 1)):
+                    continue
+                vcls = (e >> 1) & 3
+                if key_fn is None:
+                    k = vcls * cm + ln * lm + (0 if (wire_u and ranking[v]) else sm)
+                else:
+                    k = key_fn(RouteClass(vcls), ln, bool(wire_u and ranking[v]))
+                cur = key_l[v]
+                if k < cur:
+                    key_l[v] = k
+                    cls_b[v] = vcls
+                    len_l[v] = ln
+                    reach_b[v] = reach_u
+                    wire_b[v] = wire_u
+                    nhops[v] = [u]
+                    push(heap, (k << PACK_SHIFT) | v)
+                elif k == cur:
+                    nhops[v].append(u)  # type: ignore[union-attr]
+                    reach_b[v] |= reach_u
+                    if not wire_u:
+                        wire_b[v] = 0
+
+        # Roots: the destination originates the prefix; the attacker
+        # originates the bogus one-hop-longer "m d" via legacy BGP.
+        dest_signed = 1 if signing[dest_i] else 0
+        fixed[dest_i] = 1
+        len_l[dest_i] = 0
+        reach_b[dest_i] = 1
+        endp_b[dest_i] = 1
+        wire_b[dest_i] = dest_signed
+        sec_b[dest_i] = dest_signed
+        remaining = n - 1
+        if att_i >= 0:
+            fixed[att_i] = 1
+            len_l[att_i] = 1
+            reach_b[att_i] = 2
+            endp_b[att_i] = 2
+            remaining -= 1
+        relax(dest_i, True, 1, dest_signed, 1)
+        if att_i >= 0:
+            relax(att_i, True, 2, 0, 2)
+
+        happy_lo = happy_up = att_lo = att_up = secure_n = nfixed = 0
+        while heap:
+            entry = pop(heap)
+            v = entry & _IDX_MASK
+            if fixed[v] or (entry >> PACK_SHIFT) != key_l[v]:
+                continue  # already fixed, or a stale heap entry
+            nh = nhops[v]
+            ch = nh[0] if len(nh) == 1 else min(nh)  # type: ignore[index, arg-type]
+            choice_l[v] = ch
+            endp_b[v] = endp_b[ch]
+            w = wire_b[v]
+            s = 0
+            if w:
+                # "uses a secure route" is only meaningful when the model
+                # ranks security: a baseline-model AS treats every route
+                # as insecure even if the announcement arrived signed.
+                if uses_sec and ranking[v]:
+                    sec_b[v] = s = 1
+                if not signing[v]:
+                    wire_b[v] = 0  # v re-announces without a signature
+            fixed[v] = 1
+            nfixed += 1
+            secure_n += s
+            r = reach_b[v]
+            if r == 1:
+                happy_lo += 1
+                happy_up += 1
+            elif r == 2:
+                att_lo += 1
+                att_up += 1
+            else:  # BOTH: the knife's edge population
+                happy_up += 1
+                att_up += 1
+            remaining -= 1
+            if remaining == 0:
+                break
+            relax(v, cls_b[v] == 0, len_l[v] + 1, wire_b[v], r)
+
+        self._last_counts = (happy_lo, happy_up, att_lo, att_up, secure_n, nfixed)
+
+    def _snapshot(
+        self,
+        destination: int,
+        attacker: int | None,
+        deployment: Deployment,
+        model: RankModel,
+        dest_i: int,
+        att_i: int,
+    ) -> "RoutingOutcome":
+        return RoutingOutcome(
+            destination=destination,
+            attacker=attacker,
+            deployment=deployment,
+            model=model,
+            _ctx=self,
+            _dest_i=dest_i,
+            _att_i=att_i,
+            _fixed=bytes(self._fixed),
+            _cls=bytes(self._cls),
+            _len=list(self._len),
+            _reach=bytes(self._reach),
+            _wire=bytes(self._wire),
+            _sec=bytes(self._sec),
+            _choice=list(self._choice),
+            _endpoint=bytes(self._endpoint),
+            _nhops=list(self._nhops),
+            _counts=self._last_counts,
+        )
 
 
-@dataclass
+def _as_context(topology: ASGraph | RoutingContext) -> RoutingContext:
+    if isinstance(topology, RoutingContext):
+        return topology
+    return RoutingContext(topology)
+
+
+class _RouteView(Mapping):
+    """Lazy ``{asn: RouteInfo}`` mapping over the flat result arrays.
+
+    RouteInfo objects are materialized (and memoized) only for the ASes
+    a caller actually touches; aggregate queries on
+    :class:`RoutingOutcome` never build any.
+    """
+
+    __slots__ = ("_outcome", "_cache")
+
+    def __init__(self, outcome: "RoutingOutcome") -> None:
+        self._outcome = outcome
+        self._cache: dict[int, RouteInfo] = {}
+
+    def __getitem__(self, asn: int) -> RouteInfo:
+        info = self._cache.get(asn)
+        if info is not None:
+            return info
+        o = self._outcome
+        i = o._ctx.index_of.get(asn)
+        if i is None or not o._fixed[i]:
+            raise KeyError(asn)
+        info = o._build_info(i)
+        self._cache[asn] = info
+        return info
+
+    def __contains__(self, asn: object) -> bool:
+        o = self._outcome
+        i = o._ctx.index_of.get(asn)  # type: ignore[arg-type]
+        return i is not None and bool(o._fixed[i])
+
+    def __iter__(self) -> Iterator[int]:
+        o = self._outcome
+        fixed = o._fixed
+        asn_of = o._ctx.asns
+        for i in range(o._ctx.n):
+            if fixed[i]:
+                yield asn_of[i]
+
+    def __len__(self) -> int:
+        o = self._outcome
+        return o._counts[5] + (2 if o._att_i >= 0 else 1)
+
+
 class RoutingOutcome:
     """The stable state for one ``(destination, attacker, S, model)``.
 
-    ASes with no route at all (possible on disconnected inputs) are
-    absent from :attr:`routes`.
+    Backed by flat per-index arrays snapshotted from the engine's
+    scratch buffers; :attr:`routes` is a lazily-materialized
+    :class:`RouteInfo` view kept for API compatibility.  ASes with no
+    route at all (possible on disconnected inputs) are absent from
+    :attr:`routes`.
     """
 
-    destination: int
-    attacker: int | None
-    deployment: Deployment
-    model: RankModel
-    routes: dict[int, RouteInfo]
-    total_ases: int
+    __slots__ = (
+        "destination",
+        "attacker",
+        "deployment",
+        "model",
+        "_ctx",
+        "_dest_i",
+        "_att_i",
+        "_fixed",
+        "_cls",
+        "_len",
+        "_reach",
+        "_wire",
+        "_sec",
+        "_choice",
+        "_endpoint",
+        "_nhops",
+        "_counts",
+        "_routes",
+    )
+
+    def __init__(
+        self,
+        destination: int,
+        attacker: int | None,
+        deployment: Deployment,
+        model: RankModel,
+        _ctx: RoutingContext,
+        _dest_i: int,
+        _att_i: int,
+        _fixed: bytes,
+        _cls: bytes,
+        _len: list[int],
+        _reach: bytes,
+        _wire: bytes,
+        _sec: bytes,
+        _choice: list[int],
+        _endpoint: bytes,
+        _nhops: list,
+        _counts: tuple[int, int, int, int, int, int],
+    ) -> None:
+        self.destination = destination
+        self.attacker = attacker
+        self.deployment = deployment
+        self.model = model
+        self._ctx = _ctx
+        self._dest_i = _dest_i
+        self._att_i = _att_i
+        self._fixed = _fixed
+        self._cls = _cls
+        self._len = _len
+        self._reach = _reach
+        self._wire = _wire
+        self._sec = _sec
+        self._choice = _choice
+        self._endpoint = _endpoint
+        self._nhops = _nhops
+        self._counts = _counts
+        self._routes: _RouteView | None = None
+
+    @property
+    def total_ases(self) -> int:
+        return self._ctx.n
+
+    @property
+    def routes(self) -> _RouteView:
+        view = self._routes
+        if view is None:
+            view = self._routes = _RouteView(self)
+        return view
+
+    def _build_info(self, i: int) -> RouteInfo:
+        ctx = self._ctx
+        asn_of = ctx.asns
+        if i == self._dest_i:
+            signed = bool(self._sec[i])
+            return RouteInfo(
+                route_class=None,
+                length=0,
+                key=None,
+                next_hops=(),
+                reaches=Reach.DEST,
+                secure=signed,
+                wire_secure=signed,
+                choice=None,
+                endpoint=Reach.DEST,
+            )
+        if i == self._att_i:
+            return RouteInfo(
+                route_class=None,
+                length=1,  # the bogus announcement "m d" is one hop longer
+                key=None,
+                next_hops=(),
+                reaches=Reach.ATTACKER,
+                secure=False,
+                wire_secure=False,  # legacy BGP: recipients cannot validate
+                choice=None,
+                endpoint=Reach.ATTACKER,
+            )
+        route_class = RouteClass(self._cls[i])
+        length = self._len[i]
+        secure = bool(self._sec[i])
+        # The rank-time security bit equals the stored secure bit for
+        # security-aware models and is ignored by the baseline key, so
+        # the tuple key reconstructs exactly.
+        return RouteInfo(
+            route_class=route_class,
+            length=length,
+            key=self.model.key(route_class, length, secure),
+            next_hops=tuple(asn_of[j] for j in sorted(self._nhops[i])),
+            reaches=Reach(self._reach[i]),
+            secure=secure,
+            wire_secure=bool(self._wire[i]),
+            choice=asn_of[self._choice[i]],
+            endpoint=Reach(self._endpoint[i]),
+        )
 
     # -- source enumeration ------------------------------------------------
     @property
     def num_sources(self) -> int:
         """|V| minus the destination and (if present) the attacker."""
-        return self.total_ases - (2 if self.attacker is not None else 1)
+        return self._ctx.n - (2 if self.attacker is not None else 1)
 
     def is_source(self, asn: int) -> bool:
         return asn != self.destination and asn != self.attacker
 
     def sources(self) -> Iterator[int]:
         """All fixed ASes other than the roots."""
-        for asn in self.routes:
-            if self.is_source(asn):
-                yield asn
+        fixed = self._fixed
+        asn_of = self._ctx.asns
+        dest_i = self._dest_i
+        att_i = self._att_i
+        for i in range(self._ctx.n):
+            if fixed[i] and i != dest_i and i != att_i:
+                yield asn_of[i]
 
-    # -- per-AS predicates ---------------------------------------------------
+    # -- per-AS predicates -------------------------------------------------
+    def _index(self, asn: int) -> int | None:
+        i = self._ctx.index_of.get(asn)
+        if i is None or not self._fixed[i]:
+            return None
+        return i
+
     def reaches(self, asn: int) -> Reach:
-        info = self.routes.get(asn)
-        return info.reaches if info is not None else Reach.NONE
+        i = self._index(asn)
+        return Reach(self._reach[i]) if i is not None else Reach.NONE
 
     def happy_lower(self, asn: int) -> bool:
         """Happy under adversarial tiebreaking (all BPR routes legit)."""
-        return self.reaches(asn) == Reach.DEST
+        i = self._index(asn)
+        return i is not None and self._reach[i] == 1
 
     def happy_upper(self, asn: int) -> bool:
         """Happy under friendly tiebreaking (some BPR route is legit)."""
-        return bool(self.reaches(asn) & Reach.DEST)
+        i = self._index(asn)
+        return i is not None and bool(self._reach[i] & 1)
 
     def uses_secure_route(self, asn: int) -> bool:
         """True if the AS's best routes are secure (it validates them)."""
-        info = self.routes.get(asn)
-        return info is not None and info.secure
+        i = self._index(asn)
+        return i is not None and bool(self._sec[i])
 
-    # -- aggregate counts -----------------------------------------------------
+    # -- aggregate counts --------------------------------------------------
     def count_happy(self) -> tuple[int, int]:
         """(lower bound, upper bound) on the number of happy sources."""
-        lower = 0
-        upper = 0
-        for asn, info in self.routes.items():
-            if not self.is_source(asn):
-                continue
-            if info.reaches == Reach.DEST:
-                lower += 1
-                upper += 1
-            elif info.reaches & Reach.DEST:
-                upper += 1
-        return lower, upper
+        return self._counts[0], self._counts[1]
 
     def count_attacked(self) -> tuple[int, int]:
         """(lower, upper) bounds on sources routing to the attacker."""
-        lower = 0
-        upper = 0
-        for asn, info in self.routes.items():
-            if not self.is_source(asn):
-                continue
-            if info.reaches == Reach.ATTACKER:
-                lower += 1
-                upper += 1
-            elif info.reaches & Reach.ATTACKER:
-                upper += 1
-        return lower, upper
+        return self._counts[2], self._counts[3]
 
     def count_secure_sources(self) -> int:
         """Sources whose best routes are secure."""
-        return sum(
-            1
-            for asn, info in self.routes.items()
-            if self.is_source(asn) and info.secure
+        return self._counts[4]
+
+    def secure_sources(self) -> frozenset[int]:
+        """The sources of :meth:`count_secure_sources`, as ASNs."""
+        sec = self._sec
+        asn_of = self._ctx.asns
+        dest_i = self._dest_i
+        att_i = self._att_i
+        return frozenset(
+            asn_of[i]
+            for i in range(self._ctx.n)
+            if sec[i] and i != dest_i and i != att_i
         )
 
-    # -- concrete (deterministic tiebreak) view -----------------------------
+    # -- concrete (deterministic tiebreak) view ----------------------------
     def concrete_endpoint(self, asn: int) -> Reach:
-        info = self.routes.get(asn)
-        return info.endpoint if info is not None else Reach.NONE
+        i = self._index(asn)
+        return Reach(self._endpoint[i]) if i is not None else Reach.NONE
 
     def concrete_path(self, asn: int) -> tuple[int, ...]:
         """The physical AS path under the deterministic tiebreak.
@@ -214,32 +772,21 @@ class RoutingOutcome:
         For attacked routes the path ends at the attacker (where traffic
         actually terminates), not at the claimed destination.
         """
-        if asn not in self.routes:
+        i = self._index(asn)
+        if i is None:
             return ()
-        path = [asn]
-        seen = {asn}
-        cur = asn
+        asn_of = self._ctx.asns
+        choice = self._choice
+        path = [asn_of[i]]
+        seen = {i}
         while True:
-            info = self.routes[cur]
-            if info.choice is None:
+            i = choice[i]
+            if i < 0:
                 return tuple(path)
-            cur = info.choice
-            if cur in seen:  # pragma: no cover - defended against, impossible
-                raise RuntimeError(f"routing loop through AS {cur}")
-            seen.add(cur)
-            path.append(cur)
-
-
-@dataclass
-class _Candidate:
-    """Best-so-far (pre-fixing) routes of an AS, merged across next hops."""
-
-    key: RankKey
-    route_class: int
-    length: int
-    next_hops: set[int] = field(default_factory=set)
-    reaches: Reach = Reach.NONE
-    wire_in: bool = True
+            if i in seen:  # pragma: no cover - defended against, impossible
+                raise RuntimeError(f"routing loop through AS {asn_of[i]}")
+            seen.add(i)
+            path.append(asn_of[i])
 
 
 def compute_routing_outcome(
@@ -265,117 +812,12 @@ def compute_routing_outcome(
     Returns:
         A :class:`RoutingOutcome`.
     """
-    context = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
-    deployment = deployment or Deployment.empty()
-    graph = context.graph
-    if destination not in graph:
-        raise ValueError(f"destination AS {destination} not in graph")
-    if attacker is not None:
-        if attacker not in graph:
-            raise ValueError(f"attacker AS {attacker} not in graph")
-        if attacker == destination:
-            raise ValueError("attacker and destination must differ")
-
-    signing = deployment.signing_members
-    ranking = deployment.ranking_members
-    out_edges = context.out_edges
-    key_of = model.key
-
-    routes: dict[int, RouteInfo] = {}
-    candidates: dict[int, _Candidate] = {}
-    heap: list[tuple[RankKey, int]] = []
-
-    dest_signed = destination in signing
-    routes[destination] = RouteInfo(
-        route_class=None,
-        length=0,
-        key=None,
-        next_hops=(),
-        reaches=Reach.DEST,
-        secure=dest_signed,
-        wire_secure=dest_signed,
-        choice=None,
-        endpoint=Reach.DEST,
-    )
-    if attacker is not None:
-        routes[attacker] = RouteInfo(
-            route_class=None,
-            length=1,  # the bogus announcement "m d" is one hop longer
-            key=None,
-            next_hops=(),
-            reaches=Reach.ATTACKER,
-            secure=False,
-            wire_secure=False,  # legacy BGP: recipients cannot validate it
-            choice=None,
-            endpoint=Reach.ATTACKER,
-        )
-
-    def relax_from(u: int, info: RouteInfo) -> None:
-        """Offer u's fixed route to every neighbor Ex allows."""
-        is_origin = info.key is None
-        exports_everywhere = is_origin or info.route_class is RouteClass.CUSTOMER
-        length = info.length + 1
-        wire = info.wire_secure
-        reaches = info.reaches
-        for v, v_class, v_is_customer in out_edges[u]:
-            if v in routes:
-                continue
-            if not (exports_everywhere or v_is_customer):
-                continue
-            secure_for_v = wire and v in ranking
-            key = key_of(RouteClass(v_class), length, secure_for_v)
-            cand = candidates.get(v)
-            if cand is None or key < cand.key:
-                cand = _Candidate(
-                    key=key, route_class=v_class, length=length, wire_in=wire
-                )
-                cand.next_hops.add(u)
-                cand.reaches = reaches
-                candidates[v] = cand
-                heapq.heappush(heap, (key, v))
-            elif key == cand.key:
-                cand.next_hops.add(u)
-                cand.reaches |= reaches
-                cand.wire_in = cand.wire_in and wire
-
-    relax_from(destination, routes[destination])
-    if attacker is not None:
-        relax_from(attacker, routes[attacker])
-
-    while heap:
-        key, v = heapq.heappop(heap)
-        if v in routes:
-            continue
-        cand = candidates[v]
-        if key != cand.key:
-            continue  # stale heap entry; a better candidate exists
-        choice = min(cand.next_hops)
-        info = RouteInfo(
-            route_class=RouteClass(cand.route_class),
-            length=cand.length,
-            key=cand.key,
-            next_hops=tuple(sorted(cand.next_hops)),
-            reaches=cand.reaches,
-            # "uses a secure route" is only meaningful when the model
-            # ranks security: a baseline-model AS treats every route as
-            # insecure even if the announcement arrived signed.
-            secure=cand.wire_in and v in ranking and model.uses_security,
-            wire_secure=cand.wire_in and v in signing,
-            choice=choice,
-            endpoint=routes[choice].endpoint,
-        )
-        routes[v] = info
-        del candidates[v]
-        relax_from(v, info)
-
-    return RoutingOutcome(
-        destination=destination,
-        attacker=attacker,
-        deployment=deployment,
-        model=model,
-        routes=routes,
-        total_ases=len(context.asns),
-    )
+    ctx = _as_context(topology)
+    deployment = deployment or _EMPTY_DEPLOYMENT
+    dest_i, att_i = ctx._check_pair(destination, attacker)
+    signing, ranking = ctx.deployment_masks(deployment)
+    ctx._run(dest_i, att_i, signing, ranking, model)
+    return ctx._snapshot(destination, attacker, deployment, model, dest_i, att_i)
 
 
 def normal_conditions(
@@ -388,3 +830,60 @@ def normal_conditions(
     return compute_routing_outcome(
         topology, destination, attacker=None, deployment=deployment, model=model
     )
+
+
+# ----------------------------------------------------------------------
+# Batched evaluation
+# ----------------------------------------------------------------------
+def batch_outcomes(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int | None, int]],
+    deployment: Deployment | None = None,
+    model: RankModel = BASELINE,
+) -> list[RoutingOutcome]:
+    """Stable states for many ``(attacker, destination)`` pairs at once.
+
+    Deployment masks are built once and the context's scratch buffers
+    are reused across the whole sweep, which is the engine's intended
+    hot path.  ``attacker`` may be None in a pair (normal conditions).
+    Pair ordering matches the metric convention ``(m, d)``.
+    """
+    ctx = _as_context(topology)
+    deployment = deployment or _EMPTY_DEPLOYMENT
+    signing, ranking = ctx.deployment_masks(deployment)
+    out: list[RoutingOutcome] = []
+    for attacker, destination in pairs:
+        dest_i, att_i = ctx._check_pair(destination, attacker)
+        ctx._run(dest_i, att_i, signing, ranking, model)
+        out.append(
+            ctx._snapshot(destination, attacker, deployment, model, dest_i, att_i)
+        )
+    return out
+
+
+def batch_happiness_counts(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int | None, int]],
+    deployment: Deployment | None = None,
+    model: RankModel = BASELINE,
+) -> list[tuple[int, int, int]]:
+    """``(happy_lower, happy_upper, num_sources)`` per ``(m, d)`` pair.
+
+    The count-only fast path behind :func:`repro.core.metrics.security_metric`:
+    no :class:`RoutingOutcome` is materialized and nothing is copied out
+    of the scratch buffers — each pair costs one fixing pass plus a
+    3-tuple.
+    """
+    ctx = _as_context(topology)
+    deployment = deployment or _EMPTY_DEPLOYMENT
+    signing, ranking = ctx.deployment_masks(deployment)
+    n = ctx.n
+    out: list[tuple[int, int, int]] = []
+    for attacker, destination in pairs:
+        dest_i, att_i = ctx._check_pair(destination, attacker)
+        ctx._run(dest_i, att_i, signing, ranking, model)
+        counts = ctx._last_counts
+        out.append(
+            (counts[0], counts[1], n - (2 if attacker is not None else 1))
+        )
+    return out

@@ -30,12 +30,13 @@ class ASGraph:
     and reject conflicting or duplicate edges.
     """
 
-    __slots__ = ("_providers", "_customers", "_peers")
+    __slots__ = ("_providers", "_customers", "_peers", "_index_cache")
 
     def __init__(self) -> None:
         self._providers: dict[int, set[int]] = {}
         self._customers: dict[int, set[int]] = {}
         self._peers: dict[int, set[int]] = {}
+        self._index_cache: tuple[list[int], dict[int, int]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -48,6 +49,7 @@ class ASGraph:
             self._providers[asn] = set()
             self._customers[asn] = set()
             self._peers[asn] = set()
+            self._index_cache = None
 
     def add_customer_provider(self, customer: int, provider: int) -> None:
         """Add a customer-to-provider edge (``customer`` pays ``provider``)."""
@@ -100,6 +102,7 @@ class ASGraph:
         del self._providers[asn]
         del self._customers[asn]
         del self._peers[asn]
+        self._index_cache = None
 
     def _has_any_edge(self, a: int, b: int) -> bool:
         return (
@@ -123,7 +126,29 @@ class ASGraph:
     @property
     def asns(self) -> list[int]:
         """All ASNs, sorted (deterministic iteration order)."""
-        return sorted(self._providers)
+        return list(self.dense_index()[0])
+
+    def dense_index(self) -> tuple[list[int], dict[int, int]]:
+        """Map ASNs onto contiguous indices ``0..n-1`` (sorted-ASN order).
+
+        Returns ``(asn_of, index_of)`` where ``asn_of[i]`` is the ASN at
+        dense index ``i`` and ``index_of`` is its inverse.  The tables
+        are cached and invalidated when ASes are added or removed (edge
+        changes leave the AS set — and hence the index — intact).  Flat
+        per-AS buffers throughout the codebase (the routing engine's
+        scratch arrays, the perceivable-closure masks) are addressed by
+        these indices; because the order is sorted-ASN, ``min`` over
+        indices and ``min`` over ASNs agree, which the deterministic
+        lowest-ASN tiebreak relies on.
+
+        Callers must not mutate the returned lists/dicts.
+        """
+        cache = self._index_cache
+        if cache is None:
+            asn_of = sorted(self._providers)
+            index_of = {asn: i for i, asn in enumerate(asn_of)}
+            cache = self._index_cache = (asn_of, index_of)
+        return cache
 
     def providers(self, asn: int) -> frozenset[int]:
         """ASes that ``asn`` buys transit from."""

@@ -1,0 +1,108 @@
+"""Golden regression fixtures for ``H_{M,D}(S)`` at the ``small`` scale.
+
+Freezes the metric intervals for the seeded ``small`` topology across 3
+deployments × 3 security models into ``tests/data/golden_small_metrics.json``
+and asserts *exact* reproduction — the per-pair happy counts are stored
+as integers, so any engine change that shifts a single AS's fate on a
+single pair fails loudly.  This pins the behavior of the flat-array
+engine so future performance work cannot silently drift results.
+
+Regenerate (only when a change is *intended* to alter results) with::
+
+    PYTHONPATH=src python tests/test_golden_metrics.py --regen
+
+and inspect the diff of the JSON before committing it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import SECURITY_MODELS
+from repro.experiments import make_context
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_small_metrics.json"
+
+SCALE = "small"
+SEED = 2013
+NUM_PAIRS = 24
+DEPLOYMENT_NAMES = ("t1_stubs", "t12_full", "nonstubs")
+
+
+def _compute_golden() -> dict:
+    ectx = make_context(scale=SCALE, seed=SEED)
+    rng = ectx.rng("golden-pairs")
+    asns = ectx.graph.asns
+    pairs = []
+    while len(pairs) < NUM_PAIRS:
+        m = rng.choice(asns)
+        d = rng.choice(asns)
+        if m != d:
+            pairs.append((m, d))
+    scenarios = {}
+    for dep_name in DEPLOYMENT_NAMES:
+        deployment = ectx.catalog.get(dep_name)
+        for model in SECURITY_MODELS:
+            result = ectx.metric(pairs, deployment, model)
+            scenarios[f"{dep_name}/{model.label}"] = {
+                "happy_lower": [r.happy_lower for r in result.per_pair],
+                "happy_upper": [r.happy_upper for r in result.per_pair],
+                "num_sources": result.per_pair[0].num_sources,
+                "value_lower": result.value.lower,
+                "value_upper": result.value.upper,
+            }
+    return {
+        "scale": SCALE,
+        "seed": SEED,
+        "pairs": [list(p) for p in pairs],
+        "scenarios": scenarios,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if not GOLDEN_PATH.exists():  # pragma: no cover - regen instructions
+        pytest.fail(
+            f"{GOLDEN_PATH} missing; regenerate with "
+            "`PYTHONPATH=src python tests/test_golden_metrics.py --regen`"
+        )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def computed() -> dict:
+    return _compute_golden()
+
+
+def test_pair_sample_is_stable(golden, computed):
+    assert computed["pairs"] == golden["pairs"]
+
+
+def test_scenario_coverage(golden):
+    assert len(golden["scenarios"]) == len(DEPLOYMENT_NAMES) * len(SECURITY_MODELS)
+
+
+def test_metric_intervals_reproduce_exactly(golden, computed):
+    for name, want in golden["scenarios"].items():
+        got = computed["scenarios"][name]
+        # Integer per-pair counts: any single-AS drift on any pair fails.
+        assert got["happy_lower"] == want["happy_lower"], name
+        assert got["happy_upper"] == want["happy_upper"], name
+        assert got["num_sources"] == want["num_sources"], name
+        # The averaged interval is derived from the integers by fixed
+        # arithmetic, so it must reproduce bit-for-bit too.
+        assert got["value_lower"] == want["value_lower"], name
+        assert got["value_upper"] == want["value_upper"], name
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("usage: python tests/test_golden_metrics.py --regen")
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(_compute_golden(), indent=1) + "\n")
+    print(f"wrote {GOLDEN_PATH}")

@@ -40,6 +40,38 @@ class TestInterval:
         assert d.lower == pytest.approx(0.3)
         assert d.upper == pytest.approx(0.6)
 
+    def test_bound_delta_is_bound_wise(self):
+        a = Interval(0.5, 0.7)
+        b = Interval(0.1, 0.2)
+        d = a.bound_delta(b)
+        assert d.lower == pytest.approx(0.4)  # 0.5 - 0.1
+        assert d.upper == pytest.approx(0.5)  # 0.7 - 0.2
+
+    def test_bound_delta_orders_crossed_bounds(self):
+        # lower bound improved more than the upper: deltas arrive
+        # unordered and must be sorted into a valid interval.
+        a = Interval(0.6, 0.7)
+        b = Interval(0.1, 0.65)
+        d = a.bound_delta(b)
+        assert d.lower == pytest.approx(0.05)  # 0.7 - 0.65
+        assert d.upper == pytest.approx(0.5)  # 0.6 - 0.1
+
+    def test_two_difference_semantics_differ(self):
+        # The historical trap: __sub__ is NOT the Figures 7-12 delta.
+        a = Interval(0.5, 0.7)
+        b = Interval(0.1, 0.2)
+        conservative = a - b
+        bound_wise = a.bound_delta(b)
+        assert conservative != bound_wise
+        # The bound-wise delta is always contained in the conservative
+        # interval difference.
+        assert conservative.lower <= bound_wise.lower
+        assert bound_wise.upper <= conservative.upper
+
+    def test_bound_delta_identity_is_zero(self):
+        a = Interval(0.3, 0.9)
+        assert a.bound_delta(a) == Interval(0.0, 0.0)
+
     def test_str(self):
         assert "0.2" in str(Interval(0.2, 0.6))
 
@@ -101,6 +133,31 @@ class TestMetricForDestination:
             graph, [666, 1], 1, Deployment.empty(), BASELINE
         )
         assert result.num_pairs == 1  # the (1, 1) pair is dropped
+
+
+class TestBatchHappiness:
+    def test_matches_per_pair_calls(self, graph):
+        from repro.core import batch_happiness
+
+        pairs = [(666, 1), (666, 2), (4, 1)]
+        dep = Deployment.of([1, 2, 3])
+        batch = batch_happiness(graph, pairs, dep, SECURITY_FIRST)
+        singles = [
+            attack_happiness(graph, m, d, dep, SECURITY_FIRST) for m, d in pairs
+        ]
+        assert batch == singles
+
+    def test_security_metric_fast_path_equals_mapper_path(self, small_ctx):
+        asns = small_ctx.asns
+        pairs = [(asns[-1], asns[0]), (asns[-2], asns[1]), (asns[-5], asns[7])]
+        dep = Deployment.of(asns[: len(asns) // 4])
+        fast = security_metric(small_ctx, pairs, dep, SECURITY_THIRD)
+        slow = security_metric(
+            small_ctx, pairs, dep, SECURITY_THIRD,
+            mapper=lambda f, items: [f(i) for i in items],
+        )
+        assert fast.value == slow.value
+        assert fast.per_pair == slow.per_pair
 
 
 class TestMetricImprovement:
