@@ -8,9 +8,11 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-## routing perf trajectory: updates BENCH_routing.json, fails below 3x
+## perf trajectories: BENCH_routing.json (fails below 3x) and
+## BENCH_pipeline.json (end-to-end sweep, cold vs warm scenario store)
 bench:
 	$(PYTHON) benchmarks/bench_routing.py
+	$(PYTHON) benchmarks/bench_pipeline.py
 
 ## full pytest-benchmark microbenchmark harness
 bench-micro:

@@ -1,0 +1,125 @@
+"""End-to-end pipeline benchmark: sweep throughput, cold vs warm store.
+
+Where ``bench_routing.py`` times the routing engine on one batched pair
+sweep, this benchmark times the *experiment plane*: declare → dedupe →
+evaluate → consume across a family of metric-heavy experiments, once
+with a cold scenario store (every scenario evaluated) and once warm
+(every scenario served from the JSONL cache).  The record lands in
+``BENCH_pipeline.json`` at the repository root, so regressions in
+scheduler overhead, dedupe effectiveness, or store round-trip cost are
+visible in diffs.
+
+Run via ``make bench`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--scale tiny]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import shutil
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments import ResultStore, make_context, run_experiments
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+#: The metric-heavy experiment family (every figure that declares
+#: EvalRequests); partition/gadget experiments bypass the store and
+#: would only add noise to a store-effectiveness benchmark.
+EXPERIMENTS = (
+    "baseline",
+    "fig7a",
+    "fig7b",
+    "fig8",
+    "fig11",
+    "guideline_t1",
+    "guideline_t2",
+    "nonstubs",
+)
+
+
+def _timed_run(scale: str, seed: int, processes: int, cache_dir: Path) -> dict:
+    store = ResultStore(cache_dir)
+    started = time.perf_counter()
+    with make_context(scale=scale, seed=seed, processes=processes) as ectx:
+        results = run_experiments(ectx, list(EXPERIMENTS), store=store)
+        evaluated = ectx.metric_evaluations
+    elapsed = time.perf_counter() - started
+    pairs = sum(
+        len(record["request"]["pairs"]) for record in store._records.values()
+    )
+    assert all(r.rows for r in results), "an experiment produced no rows"
+    return {
+        "seconds": round(elapsed, 3),
+        "scenarios_evaluated": evaluated,
+        "store_hits": store.hits,
+        "store_misses": store.misses,
+        "scenarios_in_store": len(store),
+        "pairs_in_store": pairs,
+        "scenarios_per_sec": round(len(store) / elapsed, 1),
+    }
+
+
+def run(scale: str, seed: int, processes: int) -> dict:
+    workdir = Path(tempfile.mkdtemp(prefix="bench-pipeline-"))
+    try:
+        cache_dir = workdir / "repro-cache"
+        cold = _timed_run(scale, seed, processes, cache_dir)
+        warm = _timed_run(scale, seed, processes, cache_dir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    assert warm["scenarios_evaluated"] == 0, (
+        "warm store rerun evaluated scenarios; the cache is broken"
+    )
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "benchmark": "experiment_pipeline_sweep",
+        "commit": commit,
+        "python": platform.python_version(),
+        "scale": scale,
+        "seed": seed,
+        "processes": processes,
+        "experiments": list(EXPERIMENTS),
+        "cold_store": cold,
+        "warm_store": warm,
+        "warm_speedup": round(cold["seconds"] / max(warm["seconds"], 1e-9), 2),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="tiny", help="experiment scale name")
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument("--processes", type=int, default=1)
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT, help="where to write the JSON record"
+    )
+    args = parser.parse_args()
+    record = run(args.scale, args.seed, args.processes)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    print(
+        f"\nwrote {args.output} (warm store {record['warm_speedup']}x faster, "
+        f"{record['cold_store']['scenarios_evaluated']} scenarios cold / "
+        f"{record['warm_store']['scenarios_evaluated']} warm)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,21 +2,23 @@
 
 Each benchmark regenerates its experiment end to end at the ``tiny``
 scale (single round — these are second-scale workloads, not
-microbenchmarks).  The assertion keeps every run honest: the experiment
-must produce data rows, so a timing without a reproduction cannot pass.
+microbenchmarks): declare scenarios, evaluate them (no store, so the
+sweep cost is included), consume.  The assertion keeps every run
+honest: the experiment must produce data rows, so a timing without a
+reproduction cannot pass.
 """
 
 import pytest
 
-from repro.experiments import all_experiments
+from repro.experiments import all_experiments, run_experiment
 
 
 def _run_once(benchmark, experiment_context, experiment_id):
-    spec = all_experiments()[experiment_id]
-    # fresh cache per benchmark so shared sweeps are *included* in the
-    # first figure that needs them, mirroring a cold reproduction run.
     result = benchmark.pedantic(
-        spec.run, args=(experiment_context,), rounds=1, iterations=1
+        run_experiment,
+        args=(experiment_context, experiment_id),
+        rounds=1,
+        iterations=1,
     )
     assert result.rows or result.text
     return result

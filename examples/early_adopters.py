@@ -12,8 +12,7 @@ Run:  python examples/early_adopters.py [--scale tiny]
 import argparse
 
 from repro import core
-from repro.experiments import make_context
-from repro.experiments.exp_guidelines import run_guideline_t1, run_guideline_t2
+from repro.experiments import make_context, run_experiments
 from repro.topology import Tier
 
 
@@ -26,8 +25,9 @@ def main() -> None:
     ectx = make_context(scale=args.scale, seed=args.seed)
 
     print("Who should adopt S*BGP first?\n")
-    print(run_guideline_t1(ectx).render())
-    print(run_guideline_t2(ectx).render())
+    t1, t2 = run_experiments(ectx, ["guideline_t1", "guideline_t2"])
+    print(t1.render())
+    print(t2.render())
     print(
         "The Tier-2 deployment is *smaller* yet helps more when security"
         "\nis 2nd/3rd — Tier-1 destinations are doomed by protocol"

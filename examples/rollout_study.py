@@ -11,8 +11,7 @@ Run:  python examples/rollout_study.py [--scale small] [--processes 2]
 
 import argparse
 
-from repro.experiments import make_context
-from repro.experiments.exp_rollouts import run_fig7a, run_fig11
+from repro.experiments import make_context, run_experiments
 
 
 def main() -> None:
@@ -22,15 +21,19 @@ def main() -> None:
     parser.add_argument("--processes", type=int, default=1)
     args = parser.parse_args()
 
-    ectx = make_context(scale=args.scale, seed=args.seed, processes=args.processes)
-    print(
-        f"graph: {ectx.graph}; securing Tier 1s + Tier 2s + their stubs\n"
-    )
-    result = run_fig7a(ectx)
-    print(result.render())
+    with make_context(
+        scale=args.scale, seed=args.seed, processes=args.processes
+    ) as ectx:
+        print(
+            f"graph: {ectx.graph}; securing Tier 1s + Tier 2s + their stubs\n"
+        )
+        # Both rollouts declare their scenarios; the scheduler computes
+        # the shared H(∅) baseline once for the two figures.
+        fig7a, fig11 = run_experiments(ectx, ["fig7a", "fig11"])
+    print(fig7a.render())
 
     print("\nAnd the Tier 2-only rollout the paper recommends instead (§5.3.1):\n")
-    print(run_fig11(ectx).render())
+    print(fig11.render())
 
     print(
         "Reading: each band is [tiebreak-adversarial, tiebreak-friendly]"

@@ -51,7 +51,7 @@ class Interval:
       genuinely independent.
     * :meth:`bound_delta` is the **bound-wise delta**
       ``sorted(a.lower − b.lower, a.upper − b.upper)`` used by
-      ``metric_improvement`` / ``ExperimentContext.metric_delta``:
+      ``metric_improvement`` / ``EvalResults.delta``:
       the paper's Figures 7-12 plot the increase of each *bound* of
       ``H_{M,D}``, not a conservative difference — under the common
       tiebreak conventions the lower bounds of both metrics refer to

@@ -60,6 +60,15 @@ from typing import Iterator, Sequence
 
 from ..topology.graph import ASGraph
 from ..topology.relationships import RouteClass
+
+#: Version of the routing *semantics* (not the implementation).  Bump
+#: whenever a change alters any routing outcome — tiebreak handling,
+#: export rules, security attribution — so content-addressed caches of
+#: evaluated scenarios (:mod:`repro.experiments.store`) invalidate
+#: instead of silently serving pre-change results.  Pure performance
+#: rewrites that reproduce the golden fixtures bit-for-bit must NOT
+#: bump it.
+ENGINE_VERSION = 1
 from .deployment import Deployment
 from .rank import BASELINE, PACK_SHIFT, RankKey, RankModel
 

@@ -1,14 +1,31 @@
-"""Benchmark harness: one runnable experiment per table/figure."""
+"""Benchmark harness: one runnable experiment per table/figure.
+
+Experiments are declarative: they publish the metric scenarios they
+need (:mod:`repro.experiments.scenarios`), the scheduler
+(:func:`repro.experiments.runner.run_experiments`) dedupes and
+evaluates them against the persistent store
+(:mod:`repro.experiments.store`), and each experiment consumes the
+shared results mapping.
+"""
 
 from .config import DEFAULT_SEED, SCALES, Scale, get_scale
 from .registry import (
     ExperimentResult,
     ExperimentSpec,
+    aggregate_trials,
     all_experiments,
     get_experiment,
 )
-from .runner import ExperimentContext, make_context
-from .writeup import run_all, write_markdown
+from .runner import (
+    ExperimentContext,
+    evaluate_requests,
+    make_context,
+    run_experiment,
+    run_experiments,
+)
+from .scenarios import EvalRequest, EvalResults, SweepSpec, request_for
+from .store import ResultStore
+from .writeup import run_all, run_trials, write_markdown
 
 __all__ = [
     "Scale",
@@ -17,10 +34,20 @@ __all__ = [
     "get_scale",
     "ExperimentResult",
     "ExperimentSpec",
+    "aggregate_trials",
     "all_experiments",
     "get_experiment",
     "ExperimentContext",
     "make_context",
+    "evaluate_requests",
+    "run_experiment",
+    "run_experiments",
+    "EvalRequest",
+    "EvalResults",
+    "SweepSpec",
+    "request_for",
+    "ResultStore",
     "run_all",
+    "run_trials",
     "write_markdown",
 ]

@@ -2,10 +2,17 @@
 
 Commands:
 
-* ``list`` — show every registered experiment;
-* ``run <id> [<id> ...]`` — run experiments and print their reports;
+* ``list`` — show every registered experiment (and IXP-rerun support);
+* ``run <id> [<id> ...]`` — run experiments through the scenario
+  scheduler and print their reports;
 * ``write-md`` — regenerate EXPERIMENTS.md (all experiments + the
   Appendix J IXP reruns).
+
+Shared flags: ``--trials K`` evaluates every sweep over K consecutive
+topology seeds and reports mean ± stderr rows; ``--cache-dir`` points
+the persistent scenario store (``.repro-cache/`` by default) so
+repeated runs only evaluate scenarios they have not seen before, and
+``--no-cache`` disables the store entirely.
 """
 
 from __future__ import annotations
@@ -15,9 +22,9 @@ import sys
 import time
 
 from .config import DEFAULT_SEED, SCALES
-from .registry import all_experiments, get_experiment
-from .runner import make_context
-from .writeup import write_markdown
+from .registry import all_experiments
+from .store import DEFAULT_CACHE_DIR, ResultStore
+from .writeup import run_trials, write_markdown
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,34 +60,74 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--processes", type=int, default=1, help="worker processes (1 = serial)"
     )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="topology seeds per sweep; >1 reports rows as mean ± stderr",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help="persistent scenario store directory",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="evaluate everything fresh; do not read or write the store",
+    )
+
+
+def _make_store(args: argparse.Namespace) -> ResultStore | None:
+    return None if args.no_cache else ResultStore(args.cache_dir)
+
+
+def _store_summary(store: ResultStore | None) -> str:
+    if store is None:
+        return "scenario store disabled (--no-cache)"
+    return (
+        f"scenario store {store.path}: {store.misses} evaluated, "
+        f"{store.hits} cache hits, {len(store)} total"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
+        print(f"{'id':14s} {'paper ref':28s} {'ixp rerun':9s} title")
         for eid, spec in all_experiments().items():
-            print(f"{eid:14s} {spec.paper_reference:28s} {spec.title}")
+            ixp = "yes" if spec.supports_ixp else "no"
+            print(f"{eid:14s} {spec.paper_reference:28s} {ixp:9s} {spec.title}")
         return 0
     if args.command == "run":
-        ectx = make_context(
-            scale=args.scale, seed=args.seed, ixp=args.ixp, processes=args.processes
+        store = _make_store(args)
+        started = time.time()
+        results = run_trials(
+            args.ids,
+            scale=args.scale,
+            seed=args.seed,
+            processes=args.processes,
+            trials=args.trials,
+            store=store,
+            ixp=args.ixp,
         )
-        for eid in args.ids:
-            spec = get_experiment(eid)
-            started = time.time()
-            result = spec.run(ectx)
+        for result in results:
             print(result.render())
-            print(f"   [{time.time() - started:.1f}s]\n")
+        print(f"   [{time.time() - started:.1f}s] {_store_summary(store)}\n")
         return 0
     if args.command == "write-md":
+        store = _make_store(args)
         results = write_markdown(
             args.out,
             scale=args.scale,
             seed=args.seed,
             processes=args.processes,
             include_ixp=not args.no_ixp,
+            trials=args.trials,
+            store=store,
         )
         print(f"wrote {args.out} ({len(results)} experiment blocks)")
+        print(f"   {_store_summary(store)}")
         return 0
     return 1  # pragma: no cover - argparse enforces commands
 

@@ -16,17 +16,20 @@ from ..core.rank import BASELINE, SECURITY_MODELS
 from ..core.routing import Reach, compute_routing_outcome
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
-from .runner import ExperimentContext, _FORK_STATE, fork_map
+from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 
-def _knife_edge_worker(pair: tuple[int, int]) -> tuple[int, int, int]:
+def _knife_edge_worker(
+    ectx: ExperimentContext, pair: tuple[int, int], state: dict
+) -> tuple[int, int, int]:
     """(knife-edge sources, happy_lower, num_sources) for one attack."""
-    ctx = _FORK_STATE["ctx"]
-    deployment = _FORK_STATE["deployment"]
-    model = _FORK_STATE["model"]
+    deployment = state["deployment"]
+    model = state["model"]
     attacker, destination = pair
     outcome = compute_routing_outcome(
-        ctx, destination, attacker=attacker, deployment=deployment, model=model
+        ectx.graph_ctx, destination, attacker=attacker,
+        deployment=deployment, model=model,
     )
     lower, upper = outcome.count_happy()
     both = sum(
@@ -38,7 +41,9 @@ def _knife_edge_worker(pair: tuple[int, int]) -> tuple[int, int, int]:
     return both, lower, outcome.num_sources
 
 
-def run_tiebreak_ablation(ectx: ExperimentContext) -> ExperimentResult:
+def run_tiebreak_ablation(
+    ectx: ExperimentContext, results: EvalResults
+) -> ExperimentResult:
     rng = ectx.rng("ablation-tiebreak")
     attackers = sampling.nonstub_attackers(ectx.tiers)
     pairs = sampling.sample_pairs(
@@ -52,16 +57,13 @@ def run_tiebreak_ablation(ectx: ExperimentContext) -> ExperimentResult:
     for label, deployment, non_stubs in steps:
         models = (BASELINE,) if deployment.size == 0 else SECURITY_MODELS
         for model in models:
-            results = fork_map(
+            counts = ectx.map_tasks(
                 _knife_edge_worker,
                 pairs,
-                ectx.processes,
-                ctx=ectx.graph_ctx,
-                deployment=deployment,
-                model=model,
+                state={"deployment": deployment, "model": model},
             )
-            knife = sum(b for b, _, _ in results)
-            total = sum(n for _, _, n in results)
+            knife = sum(b for b, _, _ in counts)
+            total = sum(n for _, _, n in counts)
             rows.append(
                 {
                     "step": label,
@@ -88,7 +90,7 @@ def run_tiebreak_ablation(ectx: ExperimentContext) -> ExperimentResult:
         "\nattacker and the destination; exactly the upper-lower metric gap."
     )
     return ExperimentResult(
-        experiment_id="ablation_tiebreak" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="ablation_tiebreak",
         title="Ablation: tiebreak interval width along the Tier 1+2 rollout",
         paper_reference="Section 5.2.1 ('Tiebreaking can seal an AS's fate')",
         paper_expectation=(

@@ -14,31 +14,51 @@ from ..core.deployment import Deployment
 from ..core.rank import BASELINE
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
-from .runner import ExperimentContext
+from .runner import ExperimentContext, cached
+from .scenarios import EvalRequest, EvalResults, SweepSpec, request_for
 
 
-def run(ectx: ExperimentContext) -> ExperimentResult:
-    rng = ectx.rng("baseline")
-    asns = ectx.graph.asns
-    pairs = sampling.sample_pairs(rng, asns, asns, ectx.scale.pair_samples)
-    result = ectx.metric(pairs, Deployment.empty(), BASELINE)
+def _plan(ectx: ExperimentContext) -> dict[str, EvalRequest]:
+    """The two H(∅) scenarios: all attackers, and non-stub attackers."""
 
-    nonstub = sampling.nonstub_attackers(ectx.tiers)
-    pairs_ns = sampling.sample_pairs(rng, nonstub, asns, ectx.scale.pair_samples)
-    result_ns = ectx.metric(pairs_ns, Deployment.empty(), BASELINE)
+    def build() -> dict[str, EvalRequest]:
+        rng = ectx.rng("baseline")
+        asns = ectx.graph.asns
+        pairs = sampling.sample_pairs(rng, asns, asns, ectx.scale.pair_samples)
+        nonstub = sampling.nonstub_attackers(ectx.tiers)
+        pairs_ns = sampling.sample_pairs(
+            rng, nonstub, asns, ectx.scale.pair_samples
+        )
+        empty = Deployment.empty()
+        return {
+            "all": request_for(ectx, pairs, empty, BASELINE),
+            "nonstub": request_for(ectx, pairs_ns, empty, BASELINE),
+        }
+
+    return cached(ectx, "plan:baseline", build)
+
+
+def requests(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("baseline", _plan(ectx).values())
+
+
+def run(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
+    plan = _plan(ectx)
+    result = results.for_request(plan["all"])
+    result_ns = results.for_request(plan["nonstub"])
 
     rows = [
         {
             "attackers": "V (all ASes)",
             "H_lower": result.value.lower,
             "H_upper": result.value.upper,
-            "pairs": len(pairs),
+            "pairs": len(plan["all"].pairs),
         },
         {
             "attackers": "M' (non-stubs)",
             "H_lower": result_ns.value.lower,
             "H_upper": result_ns.value.upper,
-            "pairs": len(pairs_ns),
+            "pairs": len(plan["nonstub"].pairs),
         },
     ]
     text = report.format_table(
@@ -54,7 +74,7 @@ def run(ectx: ExperimentContext) -> ExperimentResult:
         " and >= 62% with IXP edges)"
     )
     return ExperimentResult(
-        experiment_id="baseline" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="baseline",
         title="Origin authentication baseline H(∅)",
         paper_reference="Section 4.2",
         paper_expectation="more than half of all sources are already happy with S = ∅",
@@ -70,5 +90,6 @@ register(
         paper_reference="Section 4.2",
         paper_expectation="H(∅) lower bound around or above 60%",
         run=run,
+        requests=requests,
     )
 )

@@ -15,9 +15,10 @@ from ..core.rank import SECURITY_THIRD
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 
-def run(ectx: ExperimentContext) -> ExperimentResult:
+def run(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     cps = ectx.tiers.members(Tier.CP)
     if not cps:
         return ExperimentResult(
@@ -73,7 +74,7 @@ def run(ectx: ExperimentContext) -> ExperimentResult:
             "retained by immune sources"
         )
     return ExperimentResult(
-        experiment_id="fig13" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig13",
         title="Secure-route fate at CP destinations (S = T1s+CPs+stubs, sec 3rd)",
         paper_reference="Figure 13 (Figure 21 for IXP)",
         paper_expectation=(

@@ -26,6 +26,7 @@ from ..topology.tiers import Tier
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 
 def _downgrade_counts(
@@ -63,7 +64,7 @@ def _downgrade_counts(
     return downgraded, unhappy
 
 
-def run_hysteresis(ectx: ExperimentContext) -> ExperimentResult:
+def run_hysteresis(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     rows = []
 
     # Part 1: the Figure 2 gadget — the canonical downgrade, cured.
@@ -150,7 +151,7 @@ def run_hysteresis(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_islands(ectx: ExperimentContext) -> ExperimentResult:
+def run_islands(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     """Island members pledge security-1st among themselves (§8)."""
     tiers = ectx.tiers
     island = set(tiers.members(Tier.TIER2)) | set(tiers.members(Tier.CP))

@@ -12,17 +12,26 @@
 from __future__ import annotations
 
 from ..core.deployment import Deployment
-from ..core.metrics import Interval
 from ..core.rank import BASELINE, SECURITY_MODELS
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
-from .runner import ExperimentContext
+from .runner import ExperimentContext, cached
+from .scenarios import (
+    EvalRequest,
+    EvalResults,
+    SweepSpec,
+    collect_requests,
+    request_for,
+)
+
+#: One named deployment scenario: (label, baseline request, per-model requests).
+ScenarioPlan = tuple[str, Deployment, EvalRequest, dict[str, EvalRequest]]
 
 
-def _secure_dest_delta(
-    ectx: ExperimentContext, deployment: Deployment, salt: str
-) -> dict[str, Interval]:
-    """ΔH over pairs (M' × secure destinations), per model."""
+def _scenario_plan(
+    ectx: ExperimentContext, label: str, deployment: Deployment, salt: str
+) -> ScenarioPlan:
+    """ΔH scenarios over pairs (M' × secure destinations) for one S."""
     rng = ectx.rng(salt)
     attackers = sampling.nonstub_attackers(ectx.tiers)
     dests = sampling.sample_members(
@@ -31,16 +40,18 @@ def _secure_dest_delta(
         ectx.scale.perdest_destinations,
     )
     pairs = sampling.sample_pairs(rng, attackers, dests, ectx.scale.rollout_pairs)
-    baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
-    return {
-        model.label: ectx.metric_delta(pairs, deployment, model, baseline)
+    baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+    by_model = {
+        model.label: request_for(ectx, pairs, deployment, model)
         for model in SECURITY_MODELS
     }
+    return (label, deployment, baseline, by_model)
 
 
 def _guideline_result(
     ectx: ExperimentContext,
-    scenarios: list[tuple[str, Deployment]],
+    results: EvalResults,
+    plans: list[ScenarioPlan],
     experiment_id: str,
     title: str,
     paper_reference: str,
@@ -48,10 +59,9 @@ def _guideline_result(
 ) -> ExperimentResult:
     rows = []
     series = []
-    for label, deployment in scenarios:
-        deltas = _secure_dest_delta(ectx, deployment, f"{experiment_id}-{label}")
+    for label, deployment, baseline, by_model in plans:
         for model in SECURITY_MODELS:
-            delta = deltas[model.label]
+            delta = results.delta(by_model[model.label], baseline)
             rows.append(
                 {
                     "scenario": label,
@@ -63,7 +73,7 @@ def _guideline_result(
             )
             series.append((f"{label:>16s} {model.label:14s}", delta))
     return ExperimentResult(
-        experiment_id=experiment_id + ("_ixp" if ectx.ixp else ""),
+        experiment_id=experiment_id,
         title=title,
         paper_reference=paper_reference,
         paper_expectation=expectation,
@@ -72,14 +82,37 @@ def _guideline_result(
     )
 
 
-def run_guideline_t1(ectx: ExperimentContext) -> ExperimentResult:
-    scenarios = [
-        ("T1+stubs", ectx.catalog.get("t1_stubs")),
-        ("T1+stubs+CPs", ectx.catalog.get("t1_stubs_cp")),
-    ]
+# ----------------------------------------------------------------------
+# Tier-1 early adopters
+# ----------------------------------------------------------------------
+
+def _plan_t1(ectx: ExperimentContext) -> list[ScenarioPlan]:
+    def build() -> list[ScenarioPlan]:
+        return [
+            _scenario_plan(
+                ectx, "T1+stubs", ectx.catalog.get("t1_stubs"),
+                "guideline_t1-T1+stubs",
+            ),
+            _scenario_plan(
+                ectx, "T1+stubs+CPs", ectx.catalog.get("t1_stubs_cp"),
+                "guideline_t1-T1+stubs+CPs",
+            ),
+        ]
+
+    return cached(ectx, "plan:guideline_t1", build)
+
+
+def requests_t1(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("guideline_t1", collect_requests(_plan_t1(ectx)))
+
+
+def run_guideline_t1(
+    ectx: ExperimentContext, results: EvalResults
+) -> ExperimentResult:
     return _guideline_result(
         ectx,
-        scenarios,
+        results,
+        _plan_t1(ectx),
         "guideline_t1",
         "Early adoption at Tier 1s (ΔH over secure destinations)",
         "Section 5.3.1",
@@ -87,11 +120,33 @@ def run_guideline_t1(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_guideline_t2(ectx: ExperimentContext) -> ExperimentResult:
-    scenarios = [("top-13 T2+stubs", ectx.catalog.get("t2_top13_stubs"))]
+# ----------------------------------------------------------------------
+# Tier-2 early adopters
+# ----------------------------------------------------------------------
+
+def _plan_t2(ectx: ExperimentContext) -> list[ScenarioPlan]:
+    def build() -> list[ScenarioPlan]:
+        return [
+            _scenario_plan(
+                ectx, "top-13 T2+stubs", ectx.catalog.get("t2_top13_stubs"),
+                "guideline_t2-top-13 T2+stubs",
+            )
+        ]
+
+    return cached(ectx, "plan:guideline_t2", build)
+
+
+def requests_t2(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("guideline_t2", collect_requests(_plan_t2(ectx)))
+
+
+def run_guideline_t2(
+    ectx: ExperimentContext, results: EvalResults
+) -> ExperimentResult:
     return _guideline_result(
         ectx,
-        scenarios,
+        results,
+        _plan_t2(ectx),
         "guideline_t2",
         "Early adoption at the largest Tier 2s",
         "Section 5.3.1",
@@ -99,19 +154,39 @@ def run_guideline_t2(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_nonstubs(ectx: ExperimentContext) -> ExperimentResult:
+# ----------------------------------------------------------------------
+# All non-stubs secure (§5.2.4: worst-case ΔH over all destinations)
+# ----------------------------------------------------------------------
+
+def _plan_nonstubs(ectx: ExperimentContext):
+    def build():
+        deployment = ectx.catalog.get("nonstubs")
+        rng = ectx.rng("nonstubs")
+        attackers = sampling.nonstub_attackers(ectx.tiers)
+        pairs = sampling.sample_pairs(
+            rng, attackers, ectx.graph.asns, ectx.scale.rollout_pairs
+        )
+        baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+        by_model = {
+            model.label: request_for(ectx, pairs, deployment, model)
+            for model in SECURITY_MODELS
+        }
+        return (deployment, baseline, by_model)
+
+    return cached(ectx, "plan:nonstubs", build)
+
+
+def requests_nonstubs(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("nonstubs", collect_requests(_plan_nonstubs(ectx)))
+
+
+def run_nonstubs(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     """§5.2.4 quotes worst-case (lower-bound) ΔH_{M',V}: all destinations."""
-    deployment = ectx.catalog.get("nonstubs")
-    rng = ectx.rng("nonstubs")
-    attackers = sampling.nonstub_attackers(ectx.tiers)
-    pairs = sampling.sample_pairs(
-        rng, attackers, ectx.graph.asns, ectx.scale.rollout_pairs
-    )
-    baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
+    deployment, baseline, by_model = _plan_nonstubs(ectx)
     rows = []
     series = []
     for model in SECURITY_MODELS:
-        delta = ectx.metric_delta(pairs, deployment, model, baseline)
+        delta = results.delta(by_model[model.label], baseline)
         rows.append(
             {
                 "scenario": "all non-stubs",
@@ -123,7 +198,7 @@ def run_nonstubs(ectx: ExperimentContext) -> ExperimentResult:
         )
         series.append((f"{'all non-stubs':>16s} {model.label:14s}", delta))
     return ExperimentResult(
-        experiment_id="nonstubs" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="nonstubs",
         title="Securing all non-stub ASes (ΔH over all destinations)",
         paper_reference="Section 5.2.4",
         paper_expectation=(
@@ -142,6 +217,7 @@ register(
         paper_reference="Section 5.3.1",
         paper_expectation="~no improvement for sec 2nd/3rd",
         run=run_guideline_t1,
+        requests=requests_t1,
     )
 )
 register(
@@ -151,6 +227,7 @@ register(
         paper_reference="Section 5.3.1",
         paper_expectation="better than Tier-1 early adopters",
         run=run_guideline_t2,
+        requests=requests_t2,
     )
 )
 register(
@@ -160,5 +237,6 @@ register(
         paper_reference="Section 5.2.4",
         paper_expectation="sec2nd nearly reaches sec1st",
         run=run_nonstubs,
+        requests=requests_nonstubs,
     )
 )

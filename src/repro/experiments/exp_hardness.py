@@ -17,6 +17,7 @@ from ..core.rank import SECURITY_MODELS
 from . import report
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 #: (name, universe, family, γ, has γ-cover?)
 INSTANCES = [
@@ -44,7 +45,7 @@ INSTANCES = [
 ]
 
 
-def run(ectx: ExperimentContext) -> ExperimentResult:
+def run(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     rows = []
     for name, universe, family, gamma, has_cover in INSTANCES:
         instance = build_set_cover_reduction(universe, dict(family))

@@ -15,6 +15,7 @@ from ..topology.tiers import FIGURE_TIER_ORDER
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext, cached
+from .scenarios import EvalResults
 from .sweeps import partition_sweep
 
 LP2_MODELS = tuple(
@@ -23,7 +24,7 @@ LP2_MODELS = tuple(
 )
 
 
-def run_lp2(ectx: ExperimentContext) -> ExperimentResult:
+def run_lp2(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     rng = ectx.rng("lp2")
     asns = ectx.graph.asns
     pairs = sampling.sample_pairs(rng, asns, asns, ectx.scale.pair_samples)
@@ -99,7 +100,7 @@ def run_lp2(ectx: ExperimentContext) -> ExperimentResult:
     rows.extend(tier_rows)
 
     return ExperimentResult(
-        experiment_id="lp2" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="lp2",
         title="Partitions under the LP2 local-preference variant",
         paper_reference="Appendix K, Figures 24-25",
         paper_expectation=(
@@ -123,7 +124,7 @@ register(
 )
 
 
-def run_lpk_sweep(ectx: ExperimentContext) -> ExperimentResult:
+def run_lpk_sweep(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     """Appendix K.1: the LPk family for several k, including k → ∞.
 
     ``k = ∞`` (any window at least the graph diameter) is the variant
@@ -172,7 +173,7 @@ def run_lpk_sweep(ectx: ExperimentContext) -> ExperimentResult:
             )
         lines.append("")
     return ExperimentResult(
-        experiment_id="lpk_sweep" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="lpk_sweep",
         title="Partitions across the LPk local-preference family",
         paper_reference="Appendix K.1",
         paper_expectation=(

@@ -17,6 +17,7 @@ from ..topology.tiers import FIGURE_TIER_ORDER, Tier
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext, cached
+from .scenarios import EvalResults
 from .sweeps import PartitionSweep, partition_sweep
 
 
@@ -66,7 +67,7 @@ def _attacker_tier_sweeps(ectx: ExperimentContext) -> dict[Tier, PartitionSweep]
     return cached(ectx, "partition_sweep_attacker_tier", build)
 
 
-def run_fig3(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig3(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     sweep = _all_pairs_sweep(ectx)
     rows = []
     bar_rows = []
@@ -102,7 +103,7 @@ def run_fig3(ectx: ExperimentContext) -> ExperimentResult:
     for row in rows:
         text += f"\n  {row['model']:14s} {row['max_gain_over_baseline']:+6.1%}"
     return ExperimentResult(
-        experiment_id="fig3" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig3",
         title="Partitions into doomed/protectable/immune, per model",
         paper_reference="Figure 3 (Figure 19a for IXP)",
         paper_expectation=(
@@ -150,7 +151,7 @@ def _tier_figure(
             )
         )
     return ExperimentResult(
-        experiment_id=experiment_id + ("_ixp" if ectx.ixp else ""),
+        experiment_id=experiment_id,
         title=title,
         paper_reference=paper_reference,
         paper_expectation=expectation,
@@ -159,7 +160,7 @@ def _tier_figure(
     )
 
 
-def run_fig4(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig4(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     return _tier_figure(
         ectx,
         _dest_tier_sweeps(ectx),
@@ -172,7 +173,7 @@ def run_fig4(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig5(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig5(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     return _tier_figure(
         ectx,
         _dest_tier_sweeps(ectx),
@@ -184,7 +185,7 @@ def run_fig5(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig6(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig6(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     result = _tier_figure(
         ectx,
         _attacker_tier_sweeps(ectx),
@@ -199,7 +200,7 @@ def run_fig6(ectx: ExperimentContext) -> ExperimentResult:
     return result
 
 
-def run_source_tier(ectx: ExperimentContext) -> ExperimentResult:
+def run_source_tier(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     sweep = _all_pairs_sweep(ectx)
     rows = []
     bar_rows = []
@@ -222,7 +223,7 @@ def run_source_tier(ectx: ExperimentContext) -> ExperimentResult:
     # the paper quotes ~25/60/15 as roughly uniform across source tiers,
     # including the Tier 1s ("Tier 1s can still be protected as sources").
     return ExperimentResult(
-        experiment_id="source_tier" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="source_tier",
         title="Partitions by source tier (security 3rd)",
         paper_reference="Section 4.7 (figure omitted in the paper)",
         paper_expectation=(

@@ -16,13 +16,16 @@ from ..core.routing import compute_routing_outcome
 from ..topology.tiers import Tier
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
-from .runner import ExperimentContext, _FORK_STATE, fork_map
+from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 
-def _perdest_worker(destination: int) -> tuple[int, dict[str, tuple[float, float]]]:
-    ctx = _FORK_STATE["ctx"]
-    deployment = _FORK_STATE["deployment"]
-    attackers = _FORK_STATE["attackers"]
+def _perdest_worker(
+    ectx: ExperimentContext, destination: int, state: dict
+) -> tuple[int, dict[str, tuple[float, float]]]:
+    ctx = ectx.graph_ctx
+    deployment = state["deployment"]
+    attackers = state["attackers"]
     out: dict[str, tuple[float, float]] = {}
     num = 0
     base_lower = base_upper = 0.0
@@ -68,16 +71,13 @@ def _perdest_deltas(
     attackers = sampling.sample_members(
         rng, sampling.nonstub_attackers(ectx.tiers), ectx.scale.perdest_attackers
     )
-    results = fork_map(
+    per_dest = ectx.map_tasks(
         _perdest_worker,
         dests,
-        ectx.processes,
-        ctx=ectx.graph_ctx,
-        deployment=deployment,
-        attackers=attackers,
+        state={"deployment": deployment, "attackers": attackers},
     )
     out: dict[int, dict[str, Interval]] = {}
-    for destination, deltas in results:
+    for destination, deltas in per_dest:
         if deltas:
             out[destination] = {
                 label: Interval(min(lo, hi), max(lo, hi))
@@ -137,7 +137,7 @@ def _sequence_result(
             f"{similar}/{len(deltas)} ({similar / len(deltas):.0%})"
         )
     return ExperimentResult(
-        experiment_id=experiment_id + ("_ixp" if ectx.ixp else ""),
+        experiment_id=experiment_id,
         title=title,
         paper_reference=paper_reference,
         paper_expectation=expectation,
@@ -146,7 +146,7 @@ def _sequence_result(
     )
 
 
-def run_fig9(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig9(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     deployment = ectx.catalog.get("t12_full")
     return _sequence_result(
         ectx,
@@ -161,7 +161,7 @@ def run_fig9(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig10(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig10(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     deployment = ectx.catalog.get("t2_full")
     return _sequence_result(
         ectx,
@@ -174,7 +174,7 @@ def run_fig10(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig12(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig12(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     deployment = ectx.catalog.get("nonstubs")
     return _sequence_result(
         ectx,

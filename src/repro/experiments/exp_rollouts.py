@@ -5,17 +5,31 @@ plots the change in the security metric — upper and lower bounds — per
 security model.  The "error bars" of the paper's Figure 7 are the same
 rollouts with the stubs running *simplex* S*BGP instead of the full
 protocol (§5.3.2); we report those as separate series.
+
+Every figure *declares* its scenarios: Figures 7(a) and 11 share the
+same ``M' × V`` pair set and hence the same ``H(∅)`` baseline request,
+which the scheduler therefore evaluates exactly once per run.
 """
 
 from __future__ import annotations
 
 from ..core.deployment import Deployment, RolloutStep, tier12_rollout, tier2_rollout
-from ..core.metrics import Interval, MetricResult
+from ..core.metrics import Interval
 from ..core.rank import BASELINE, SECURITY_MODELS
 from ..topology.tiers import Tier
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext, cached
+from .scenarios import (
+    EvalRequest,
+    EvalResults,
+    SweepSpec,
+    collect_requests,
+    request_for,
+)
+
+#: One rollout step's scenarios: the step plus per-model requests.
+StepPlan = tuple[RolloutStep, dict[str, EvalRequest]]
 
 
 def _rollout_pairs(ectx: ExperimentContext) -> list[tuple[int, int]]:
@@ -31,26 +45,33 @@ def _rollout_pairs(ectx: ExperimentContext) -> list[tuple[int, int]]:
     return cached(ectx, "rollout_pairs", build)
 
 
-def _baseline_metric(
-    ectx: ExperimentContext, pairs: list[tuple[int, int]], key: str
-) -> MetricResult:
-    """H(∅) for a pair set (model-independent: with S = ∅ every model
-    ranks identically, so it is evaluated once with the baseline model)."""
-    return cached(
-        ectx, key, lambda: ectx.metric(pairs, Deployment.empty(), BASELINE)
-    )
-
-
-def _rollout_series(
+def _step_plans(
     ectx: ExperimentContext,
     steps: list[RolloutStep],
     pairs: list[tuple[int, int]],
-    baseline: MetricResult,
+) -> list[StepPlan]:
+    return [
+        (
+            step,
+            {
+                model.label: request_for(ectx, pairs, step.deployment, model)
+                for model in SECURITY_MODELS
+            },
+        )
+        for step in steps
+    ]
+
+
+def _delta_rows(
+    ectx: ExperimentContext,
+    results: EvalResults,
+    step_plans: list[StepPlan],
+    baseline: EvalRequest,
 ) -> list[dict]:
     rows = []
-    for step in steps:
+    for step, by_model in step_plans:
         for model in SECURITY_MODELS:
-            delta = ectx.metric_delta(pairs, step.deployment, model, baseline)
+            delta = results.delta(by_model[model.label], baseline)
             rows.append(
                 {
                     "step": step.label,
@@ -75,14 +96,34 @@ def _render_series(rows: list[dict], note: str) -> str:
     return report.interval_series(series) + "\n\n" + note
 
 
-def run_fig7a(ectx: ExperimentContext) -> ExperimentResult:
-    pairs = _rollout_pairs(ectx)
-    baseline = _baseline_metric(ectx, pairs, "rollout_baseline")
-    steps = tier12_rollout(ectx.graph, ectx.tiers)
-    rows = _rollout_series(ectx, steps, pairs, baseline)
+# ----------------------------------------------------------------------
+# Figure 7(a): Tier 1+2 rollout over all destinations (+ simplex bars)
+# ----------------------------------------------------------------------
+
+def _plan_fig7a(ectx: ExperimentContext):
+    def build():
+        pairs = _rollout_pairs(ectx)
+        baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+        steps = _step_plans(ectx, tier12_rollout(ectx.graph, ectx.tiers), pairs)
+        simplex = _step_plans(
+            ectx,
+            tier12_rollout(ectx.graph, ectx.tiers, simplex_stubs=True),
+            pairs,
+        )
+        return {"baseline": baseline, "steps": steps, "simplex": simplex}
+
+    return cached(ectx, "plan:fig7a", build)
+
+
+def requests_fig7a(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("fig7a", collect_requests(_plan_fig7a(ectx)))
+
+
+def run_fig7a(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
+    plan = _plan_fig7a(ectx)
+    rows = _delta_rows(ectx, results, plan["steps"], plan["baseline"])
     # the simplex "error bars": same rollout with simplex stubs.
-    simplex_steps = tier12_rollout(ectx.graph, ectx.tiers, simplex_stubs=True)
-    simplex_rows = _rollout_series(ectx, simplex_steps, pairs, baseline)
+    simplex_rows = _delta_rows(ectx, results, plan["simplex"], plan["baseline"])
     for row, simplex in zip(rows, simplex_rows):
         row["simplex_delta_lower"] = simplex["delta_lower"]
         row["simplex_delta_upper"] = simplex["delta_upper"]
@@ -95,7 +136,7 @@ def run_fig7a(ectx: ExperimentContext) -> ExperimentResult:
         )
     )
     return ExperimentResult(
-        experiment_id="fig7a" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig7a",
         title="Tier 1+2 rollout: ΔH_{M',V}(S) with simplex error bars",
         paper_reference="Figure 7(a) (Figure 20a for IXP)",
         paper_expectation=(
@@ -106,6 +147,10 @@ def run_fig7a(ectx: ExperimentContext) -> ExperimentResult:
         text=_render_series(rows, note),
     )
 
+
+# ----------------------------------------------------------------------
+# Figure 7(b): the same rollout, metric restricted to secure destinations
+# ----------------------------------------------------------------------
 
 def _secure_destination_pairs(
     ectx: ExperimentContext, step: RolloutStep, salt: str
@@ -120,14 +165,31 @@ def _secure_destination_pairs(
     return sampling.sample_pairs(rng, attackers, dests, ectx.scale.rollout_pairs)
 
 
-def run_fig7b(ectx: ExperimentContext) -> ExperimentResult:
-    steps = tier12_rollout(ectx.graph, ectx.tiers)
+def _plan_fig7b(ectx: ExperimentContext):
+    def build():
+        plan = []
+        for step in tier12_rollout(ectx.graph, ectx.tiers):
+            pairs = _secure_destination_pairs(ectx, step, "fig7b")
+            baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+            by_model = {
+                model.label: request_for(ectx, pairs, step.deployment, model)
+                for model in SECURITY_MODELS
+            }
+            plan.append((step, baseline, by_model))
+        return plan
+
+    return cached(ectx, "plan:fig7b", build)
+
+
+def requests_fig7b(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("fig7b", collect_requests(_plan_fig7b(ectx)))
+
+
+def run_fig7b(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     rows = []
-    for step in steps:
-        pairs = _secure_destination_pairs(ectx, step, "fig7b")
-        baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
+    for step, baseline, by_model in _plan_fig7b(ectx):
         for model in SECURITY_MODELS:
-            delta = ectx.metric_delta(pairs, step.deployment, model, baseline)
+            delta = results.delta(by_model[model.label], baseline)
             rows.append(
                 {
                     "step": step.label,
@@ -139,7 +201,7 @@ def run_fig7b(ectx: ExperimentContext) -> ExperimentResult:
             )
     note = "metric restricted to secure destinations d ∈ S (averaged)"
     return ExperimentResult(
-        experiment_id="fig7b" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig7b",
         title="Tier 1+2 rollout: ΔH_{M',d}(S) averaged over d ∈ S",
         paper_reference="Figure 7(b)",
         paper_expectation=(
@@ -151,9 +213,41 @@ def run_fig7b(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig8(ectx: ExperimentContext) -> ExperimentResult:
-    cps = ectx.tiers.members(Tier.CP)
-    if not cps:
+# ----------------------------------------------------------------------
+# Figure 8: Tier 1+2+CP rollout over CP destinations
+# ----------------------------------------------------------------------
+
+def _plan_fig8(ectx: ExperimentContext):
+    def build():
+        cps = ectx.tiers.members(Tier.CP)
+        if not cps:
+            return None
+        rng = ectx.rng("fig8")
+        attackers = sampling.nonstub_attackers(ectx.tiers)
+        pairs = sampling.sample_pairs(
+            rng, attackers, cps, ectx.scale.rollout_pairs
+        )
+        baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+        steps = _step_plans(
+            ectx,
+            tier12_rollout(ectx.graph, ectx.tiers, include_cps=True),
+            pairs,
+        )
+        return {"cps": cps, "baseline": baseline, "steps": steps}
+
+    return cached(ectx, "plan:fig8", build)
+
+
+def requests_fig8(ectx: ExperimentContext) -> SweepSpec:
+    plan = _plan_fig8(ectx)
+    if plan is None:
+        return SweepSpec.empty("fig8")
+    return SweepSpec.of("fig8", collect_requests(plan))
+
+
+def run_fig8(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
+    plan = _plan_fig8(ectx)
+    if plan is None:
         return ExperimentResult(
             experiment_id="fig8",
             title="Tier 1+2+CP rollout over CP destinations",
@@ -162,18 +256,13 @@ def run_fig8(ectx: ExperimentContext) -> ExperimentResult:
             rows=[],
             text="(no content providers in this topology)",
         )
-    rng = ectx.rng("fig8")
-    attackers = sampling.nonstub_attackers(ectx.tiers)
-    pairs = sampling.sample_pairs(rng, attackers, cps, ectx.scale.rollout_pairs)
-    baseline = ectx.metric(pairs, Deployment.empty(), BASELINE)
-    steps = tier12_rollout(ectx.graph, ectx.tiers, include_cps=True)
-    rows = _rollout_series(ectx, steps, pairs, baseline)
+    rows = _delta_rows(ectx, results, plan["steps"], plan["baseline"])
     note = (
-        f"metric over the {len(cps)} CP destinations only; CPs secure at "
-        "every step (paper: ≥26% / 9.4% / 4% for sec 1st/2nd/3rd)"
+        f"metric over the {len(plan['cps'])} CP destinations only; CPs secure "
+        "at every step (paper: ≥26% / 9.4% / 4% for sec 1st/2nd/3rd)"
     )
     return ExperimentResult(
-        experiment_id="fig8" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig8",
         title="Tier 1+2+CP rollout: ΔH_{M',CP}(S)",
         paper_reference="Figure 8 (Figure 20b for IXP)",
         paper_expectation="same ordering as fig7a; CP baselines are high",
@@ -182,14 +271,31 @@ def run_fig8(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_fig11(ectx: ExperimentContext) -> ExperimentResult:
-    pairs = _rollout_pairs(ectx)
-    baseline = _baseline_metric(ectx, pairs, "rollout_baseline")
-    steps = tier2_rollout(ectx.graph, ectx.tiers)
-    rows = _rollout_series(ectx, steps, pairs, baseline)
+# ----------------------------------------------------------------------
+# Figure 11: Tier 2-only rollout
+# ----------------------------------------------------------------------
+
+def _plan_fig11(ectx: ExperimentContext):
+    def build():
+        pairs = _rollout_pairs(ectx)
+        # identical to fig7a's baseline request: deduped by the scheduler.
+        baseline = request_for(ectx, pairs, Deployment.empty(), BASELINE)
+        steps = _step_plans(ectx, tier2_rollout(ectx.graph, ectx.tiers), pairs)
+        return {"baseline": baseline, "steps": steps}
+
+    return cached(ectx, "plan:fig11", build)
+
+
+def requests_fig11(ectx: ExperimentContext) -> SweepSpec:
+    return SweepSpec.of("fig11", collect_requests(_plan_fig11(ectx)))
+
+
+def run_fig11(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
+    plan = _plan_fig11(ectx)
+    rows = _delta_rows(ectx, results, plan["steps"], plan["baseline"])
     note = "Tier 2-only rollout (no Tier 1 participates)"
     return ExperimentResult(
-        experiment_id="fig11" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig11",
         title="Tier 2 rollout: ΔH_{M',V}(S)",
         paper_reference="Figure 11 (Figure 20c for IXP)",
         paper_expectation=(
@@ -208,6 +314,7 @@ register(
         paper_reference="Figure 7(a)",
         paper_expectation="sec1st ≫ sec2nd ≈ sec3rd",
         run=run_fig7a,
+        requests=requests_fig7a,
     )
 )
 register(
@@ -217,6 +324,7 @@ register(
         paper_reference="Figure 7(b)",
         paper_expectation="sec2nd beats sec3rd for secure destinations",
         run=run_fig7b,
+        requests=requests_fig7b,
     )
 )
 register(
@@ -226,6 +334,7 @@ register(
         paper_reference="Figure 8",
         paper_expectation="ordering 1st > 2nd > 3rd",
         run=run_fig8,
+        requests=requests_fig8,
     )
 )
 register(
@@ -235,5 +344,6 @@ register(
         paper_reference="Figure 11",
         paper_expectation="slower growth than Tier 1+2 rollout",
         run=run_fig11,
+        requests=requests_fig11,
     )
 )

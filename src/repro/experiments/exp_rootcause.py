@@ -18,6 +18,7 @@ from ..topology import gadgets
 from . import report, sampling
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext, cached
+from .scenarios import EvalResults
 
 
 def _rootcause_pairs(ectx: ExperimentContext) -> list[tuple[int, int]]:
@@ -32,7 +33,7 @@ def _rootcause_pairs(ectx: ExperimentContext) -> list[tuple[int, int]]:
     return cached(ectx, "rootcause_pairs", build)
 
 
-def run_fig16(ectx: ExperimentContext) -> ExperimentResult:
+def run_fig16(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     deployment = ectx.catalog.get("t12_full")
     pairs = _rootcause_pairs(ectx)
     rows = []
@@ -74,7 +75,7 @@ def run_fig16(ectx: ExperimentContext) -> ExperimentResult:
         f"{max(abs(r['identity_residual']) for r in rows):.2e})"
     )
     return ExperimentResult(
-        experiment_id="fig16" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="fig16",
         title="Root-cause decomposition of the metric change (T1+T2 rollout)",
         paper_reference="Figure 16 (Figure 23 for IXP)",
         paper_expectation=(
@@ -86,7 +87,7 @@ def run_fig16(ectx: ExperimentContext) -> ExperimentResult:
     )
 
 
-def run_table3(ectx: ExperimentContext) -> ExperimentResult:
+def run_table3(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     deployment = ectx.catalog.get("t12_full")
     pairs = _rootcause_pairs(ectx)
 
@@ -173,7 +174,7 @@ def run_table3(ectx: ExperimentContext) -> ExperimentResult:
         ["phenomenon", "security 1st", "security 2nd", "security 3rd"], table_rows
     )
     return ExperimentResult(
-        experiment_id="table3" + ("_ixp" if ectx.ixp else ""),
+        experiment_id="table3",
         title="Phenomena possible per security model",
         paper_reference="Table 3",
         paper_expectation=(

@@ -20,6 +20,7 @@ from ..bgpsim import BGPSimulator, PolicyAssignment
 from . import report
 from .registry import ExperimentResult, ExperimentSpec, register
 from .runner import ExperimentContext
+from .scenarios import EvalResults
 
 
 def _flap(
@@ -42,7 +43,7 @@ def _flap(
     return intended, sim.stable_state()
 
 
-def run(ectx: ExperimentContext) -> ExperimentResult:
+def run(ectx: ExperimentContext, results: EvalResults) -> ExperimentResult:
     inconsistent = PolicyAssignment(
         default=SECURITY_THIRD, overrides={31283: SECURITY_FIRST}
     )

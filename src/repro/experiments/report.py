@@ -39,6 +39,62 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def _fmt_stat(mean: float, stderr: float, fraction: bool) -> str:
+    """Format an aggregated ``mean ±stderr`` cell.
+
+    Metric rows mix fractions (rendered as percentages) with counts
+    (pair budgets, rollout sizes, per-attack averages); the caller says
+    which is which, and the error always uses the mean's format so a
+    cell never mixes units.
+    """
+    if fraction:
+        return f"{mean:.1%} ±{stderr:.1%}"
+    return f"{mean:g} ±{stderr:g}"
+
+
+def confidence_table(rows, row_stderr, fraction_columns=None) -> str:
+    """Render aggregated rows as ``mean ±stderr`` tables.
+
+    ``rows``/``row_stderr`` come from
+    :func:`repro.experiments.registry.aggregate_rows`: means per column
+    plus standard errors for the numeric columns.  ``fraction_columns``
+    names the columns holding metric fractions (rendered as
+    percentages; see :func:`repro.experiments.registry.fraction_columns`)
+    — without it, small means are assumed to be fractions.  Rows with
+    different column sets (some experiments mix row shapes) are rendered
+    as separate table blocks in order.
+    """
+    blocks: list[str] = []
+    block_columns: tuple[str, ...] | None = None
+    block_rows: list[list[str]] = []
+
+    def flush() -> None:
+        if block_columns and block_rows:
+            blocks.append(format_table(block_columns, block_rows))
+
+    for row, stderr in zip(rows, row_stderr):
+        columns = tuple(row)
+        if columns != block_columns:
+            flush()
+            block_columns = columns
+            block_rows = []
+        cells = []
+        for column in columns:
+            value = row[column]
+            if column in stderr:
+                fraction = (
+                    column in fraction_columns
+                    if fraction_columns is not None
+                    else abs(value) <= 1.5
+                )
+                cells.append(_fmt_stat(value, stderr[column], fraction))
+            else:
+                cells.append(str(value))
+        block_rows.append(cells)
+    flush()
+    return "\n\n".join(blocks)
+
+
 def stacked_bar(
     parts: Mapping[str, float], width: int = BAR_WIDTH, marker: float | None = None
 ) -> str:

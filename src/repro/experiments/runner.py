@@ -1,4 +1,5 @@
-"""Experiment execution context and the parallel evaluation strategy.
+"""Experiment execution context, the persistent worker pool, and the
+scenario scheduler.
 
 The paper parallelized its metric computations with MPI across
 supercomputer nodes (Appendix H); here the unit of *parallelism* is a
@@ -10,6 +11,21 @@ the batched routing fast path
 scratch buffers and deployment masks are built once per chunk rather
 than once per pair — forked workers each own a copy-on-write clone of
 the context, so buffer reuse is race-free.
+
+Two layers live here:
+
+* :class:`ExperimentContext` — topology + tiers + budgets + a
+  **persistent fork pool**: created lazily on the first parallel call
+  and reused for every subsequent one (the pool's workers inherit the
+  routing context at fork time; per-call small state — deployment,
+  model — rides along with each task).
+* the **scenario scheduler** (:func:`run_experiments`) — collects the
+  :class:`~repro.experiments.scenarios.EvalRequest` declarations of all
+  experiments in a run, dedupes identical scenarios globally (baselines
+  shared by several figures are computed once), consults the persistent
+  :class:`~repro.experiments.store.ResultStore`, evaluates only the
+  missing scenarios, and hands every experiment an
+  :class:`~repro.experiments.scenarios.EvalResults` mapping to consume.
 """
 
 from __future__ import annotations
@@ -17,12 +33,10 @@ from __future__ import annotations
 import multiprocessing
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
 from ..core.deployment import Deployment, ScenarioCatalog
 from ..core.metrics import (
-    AttackHappiness,
-    Interval,
     MetricResult,
     _mean_interval,
     batch_happiness,
@@ -33,46 +47,34 @@ from ..topology.generate import SyntheticTopology, TopologyParams, generate_topo
 from ..topology.ixp import augment_with_ixp_peering
 from ..topology.tiers import TierTable, classify_tiers
 from .config import DEFAULT_SEED, Scale, get_scale
+from .scenarios import EvalRequest, EvalResults
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .registry import ExperimentResult, ExperimentSpec
+    from .store import ResultStore
 
 T = TypeVar("T")
-U = TypeVar("U")
 
-#: State inherited by forked workers; set just before the pool spawns.
-#: Workers read it instead of receiving big arguments per task.
-_FORK_STATE: dict = {}
-
-
-def fork_map(
-    worker: Callable[[U], T],
-    items: Sequence[U],
-    processes: int,
-    **state,
-) -> list[T]:
-    """Map ``worker`` over ``items``, optionally across forked processes.
-
-    ``state`` is placed in :data:`_FORK_STATE` before the pool forks, so
-    workers access the (potentially large) shared inputs — topology,
-    deployment — without per-task pickling.  Serial execution uses the
-    same state mechanism so worker code is identical either way.
-    """
-    _FORK_STATE.update(state)
-    try:
-        if processes <= 1 or len(items) < 8:
-            return [worker(item) for item in items]
-        mp = multiprocessing.get_context("fork")
-        chunk = max(1, len(items) // (processes * 4))
-        with mp.Pool(processes) as pool:
-            return list(pool.map(worker, items, chunksize=chunk))
-    finally:
-        _FORK_STATE.clear()
+#: The :class:`ExperimentContext` inherited by pool workers.  Set in the
+#: parent just before the pool forks (so children snapshot it for free
+#: via copy-on-write) and cleared immediately after; workers read their
+#: inherited copy inside :func:`_run_task`.
+_WORKER_CTX: "ExperimentContext | None" = None
 
 
-def _chunk_worker(chunk: Sequence[tuple[int, int]]) -> list[AttackHappiness]:
+def _run_task(task: tuple) -> object:
+    """Pool-side dispatcher: ``worker(inherited context, item, state)``."""
+    worker, item, state = task
+    return worker(_WORKER_CTX, item, state)
+
+
+def _metric_chunk_worker(
+    ectx: "ExperimentContext", chunk: Sequence[tuple[int, int]], state: dict
+):
     """Evaluate one chunk of (m, d) pairs with the batched fast path."""
-    ctx = _FORK_STATE["ctx"]
-    deployment = _FORK_STATE["deployment"]
-    model = _FORK_STATE["model"]
-    return batch_happiness(ctx, chunk, deployment, model)
+    return batch_happiness(
+        ectx.graph_ctx, chunk, state["deployment"], state["model"]
+    )
 
 
 def _chunked(pairs: Sequence[T], chunks: int) -> list[list[T]]:
@@ -93,8 +95,14 @@ class ExperimentContext:
     """Everything an experiment needs: topology, tiers, budgets, caching.
 
     Build one with :func:`make_context`.  The ``cache`` dict lets related
-    figures share intermediate computations (e.g. Figures 4 and 5 reuse
-    the same per-pair baseline outcomes).
+    figures share intermediate computations (e.g. the partition figures
+    share per-pair sweeps); keys are scoped by (seed, graph variant,
+    scale) via :func:`cached` so intermediates can never collide across
+    contexts even if a cache dict is ever shared.
+
+    Contexts own OS resources once a parallel call has run (the
+    persistent fork pool): call :meth:`close` when done, or use the
+    context as a ``with`` block.
     """
 
     scale: Scale
@@ -106,6 +114,10 @@ class ExperimentContext:
     catalog: ScenarioCatalog
     processes: int = 1
     cache: dict = field(default_factory=dict)
+    #: scenarios evaluated through :meth:`metric` (the acceptance
+    #: counter: a warm-store rerun must leave this at zero).
+    metric_evaluations: int = 0
+    _pool: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def graph(self):
@@ -116,6 +128,63 @@ class ExperimentContext:
         return random.Random(f"{self.seed}/{self.scale.name}/{salt}")
 
     # ------------------------------------------------------------------
+    # The persistent worker pool
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        """Fork the worker pool once; reuse it for every parallel call."""
+        if self._pool is None:
+            global _WORKER_CTX
+            _WORKER_CTX = self
+            try:
+                self._pool = multiprocessing.get_context("fork").Pool(
+                    self.processes
+                )
+            finally:
+                # Children keep their copy-on-write snapshot; the parent
+                # drops the global so nothing pins the context alive.
+                _WORKER_CTX = None
+        return self._pool
+
+    def map_tasks(
+        self,
+        worker: Callable[["ExperimentContext", T, dict], object],
+        items: Iterable[T],
+        state: dict | None = None,
+        chunksize: int | None = None,
+        min_parallel: int = 8,
+    ) -> list:
+        """Map ``worker(ectx, item, state)`` over ``items``.
+
+        Serial below ``min_parallel`` items or with ``processes <= 1``;
+        otherwise fanned out over the persistent fork pool.  ``state``
+        must be small and picklable (it travels with every task); large
+        shared inputs — the topology, tiers — are read from the context,
+        which workers inherited at fork time.
+        """
+        items = list(items)
+        state = state or {}
+        if self.processes <= 1 or len(items) < min_parallel:
+            return [worker(self, item, state) for item in items]
+        pool = self._ensure_pool()
+        tasks = [(worker, item, state) for item in items]
+        if chunksize is None:
+            chunksize = max(1, len(tasks) // (self.processes * 4))
+        return pool.map(_run_task, tasks, chunksize=chunksize)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op if never forked)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ExperimentContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Metric evaluation (serial or fork-parallel)
     # ------------------------------------------------------------------
     def metric(
@@ -124,36 +193,29 @@ class ExperimentContext:
         deployment: Deployment,
         model: RankModel,
     ) -> MetricResult:
-        """``H_{M,D}(S)`` over explicit pairs, parallelized if configured."""
+        """``H_{M,D}(S)`` over explicit pairs, parallelized if configured.
+
+        This is the *evaluation* primitive the scheduler calls for each
+        missing scenario; experiments declare
+        :class:`~repro.experiments.scenarios.EvalRequest` objects instead
+        of calling it directly, so ``metric_evaluations`` counts exactly
+        the scenarios actually computed.
+        """
         pairs = list(pairs)
+        self.metric_evaluations += 1
         # One chunk per worker-slot ×4 keeps the pool busy while still
-        # amortizing mask/scratch setup over many pairs per task.
+        # amortizing mask/scratch setup over many pairs per task; the
+        # pool then consumes chunks one task at a time (chunksize=1 —
+        # the chunking here *is* the batching).
         chunks = _chunked(pairs, self.processes * 4 if self.processes > 1 else 1)
-        parts = fork_map(
-            _chunk_worker,
+        parts = self.map_tasks(
+            _metric_chunk_worker,
             chunks,
-            self.processes,
-            ctx=self.graph_ctx,
-            deployment=deployment,
-            model=model,
+            state={"deployment": deployment, "model": model},
+            chunksize=1,
         )
         results = tuple(r for part in parts for r in part)
         return MetricResult(value=_mean_interval(results), per_pair=results)
-
-    def metric_delta(
-        self,
-        pairs: Sequence[tuple[int, int]],
-        deployment: Deployment,
-        model: RankModel,
-        baseline: MetricResult,
-    ) -> Interval:
-        """Bound-wise ``H(S) − H(∅)`` as plotted in Figures 7-12.
-
-        Uses :meth:`Interval.bound_delta`, *not* the conservative
-        ``Interval.__sub__`` — see the :class:`Interval` docs.
-        """
-        secured = self.metric(pairs, deployment, model)
-        return secured.value.bound_delta(baseline.value)
 
 
 def make_context(
@@ -190,7 +252,101 @@ def make_context(
 
 
 def cached(ectx: ExperimentContext, key: str, build: Callable[[], T]) -> T:
-    """Fetch-or-compute an intermediate shared between experiments."""
-    if key not in ectx.cache:
-        ectx.cache[key] = build()
-    return ectx.cache[key]
+    """Fetch-or-compute an intermediate shared between experiments.
+
+    Keys are scoped by ``(seed, graph variant, scale)`` so intermediates
+    built for one topology can never be served to another — even if a
+    cache dict were shared across contexts (base vs IXP graphs, or
+    multi-seed trials).
+    """
+    scoped = (ectx.seed, ectx.ixp, ectx.scale.name, key)
+    if scoped not in ectx.cache:
+        ectx.cache[scoped] = build()
+    return ectx.cache[scoped]
+
+
+# ----------------------------------------------------------------------
+# The scenario scheduler
+# ----------------------------------------------------------------------
+
+def evaluate_requests(
+    ectx: ExperimentContext,
+    requests: Iterable[EvalRequest],
+    store: "ResultStore | None" = None,
+) -> EvalResults:
+    """Evaluate (or fetch) every request, deduped by scenario hash.
+
+    Identical scenarios declared by different experiments collapse onto
+    one evaluation; scenarios already in ``store`` are loaded instead of
+    recomputed, and fresh evaluations are persisted immediately so an
+    interrupted run is resumable.
+    """
+    unique: dict[str, EvalRequest] = {}
+    for request in requests:
+        unique.setdefault(request.scenario_hash, request)
+    by_hash: dict[str, MetricResult] = {}
+    for scenario_hash, request in unique.items():
+        if (
+            request.scale != ectx.scale.name
+            or request.seed != ectx.seed
+            or request.ixp != ectx.ixp
+        ):
+            raise ValueError(
+                f"request {scenario_hash} targets topology "
+                f"({request.scale}, seed {request.seed}, ixp {request.ixp}) "
+                f"but the context is ({ectx.scale.name}, seed {ectx.seed}, "
+                f"ixp {ectx.ixp})"
+            )
+        if store is not None:
+            hit = store.get(scenario_hash)
+            if hit is not None:
+                store.hits += 1
+                by_hash[scenario_hash] = hit
+                continue
+            store.misses += 1
+        result = ectx.metric(
+            request.pairs, request.to_deployment(), request.to_model()
+        )
+        if store is not None:
+            store.put(request, result)
+        by_hash[scenario_hash] = result
+    return EvalResults(by_hash)
+
+
+def run_experiments(
+    ectx: ExperimentContext,
+    experiment_ids: Sequence[str] | None = None,
+    store: "ResultStore | None" = None,
+) -> "list[ExperimentResult]":
+    """Run experiments through the scenario plane.
+
+    Phase 1 collects every experiment's declared requests; phase 2
+    evaluates the global dedupe of those requests (against the store if
+    given); phase 3 hands each experiment the shared results mapping.
+    """
+    from .registry import all_experiments, get_experiment
+
+    if experiment_ids is None:
+        specs: list[ExperimentSpec] = list(all_experiments().values())
+    else:
+        specs = [get_experiment(eid) for eid in experiment_ids]
+    requests: list[EvalRequest] = []
+    for spec in specs:
+        requests.extend(spec.requests(ectx))
+    results = evaluate_requests(ectx, requests, store=store)
+    out = []
+    for spec in specs:
+        result = spec.run(ectx, results)
+        result.seed = ectx.seed
+        result.ixp = ectx.ixp
+        out.append(result)
+    return out
+
+
+def run_experiment(
+    ectx: ExperimentContext,
+    experiment_id: str,
+    store: "ResultStore | None" = None,
+) -> "ExperimentResult":
+    """Declare-evaluate-consume for a single experiment."""
+    return run_experiments(ectx, [experiment_id], store=store)[0]

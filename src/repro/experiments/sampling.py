@@ -28,12 +28,24 @@ def sample_pairs(
 ) -> list[tuple[int, int]]:
     """Draw ``count`` distinct ``(m, d)`` pairs with ``m != d``.
 
-    Sampling is with replacement over the cross product but the returned
-    pairs are de-duplicated, so fewer than ``count`` pairs are possible
-    when the population is small.
+    Always returns ``min(count, population)`` pairs, where the
+    population is the ``m != d`` cross product.  When the request covers
+    the whole population, the cross product is enumerated exactly; when
+    rejection sampling stalls on a small population (the historical
+    implementation silently undersampled here), the remainder is drawn
+    without replacement from the not-yet-seen pairs.  Large populations
+    keep the original rejection loop, draw for draw, so seeded
+    experiment samples are unchanged.
     """
-    if not attackers or not destinations:
+    if not attackers or not destinations or count <= 0:
         return []
+    unique_m = set(attackers)
+    unique_d = set(destinations)
+    population = len(unique_m) * len(unique_d) - len(unique_m & unique_d)
+    if count >= population:
+        return sorted(
+            (m, d) for m in unique_m for d in unique_d if m != d
+        )
     pairs: set[tuple[int, int]] = set()
     attempts = 0
     limit = 50 * count + 100
@@ -43,6 +55,14 @@ def sample_pairs(
         d = rng.choice(destinations)
         if m != d:
             pairs.add((m, d))
+    if len(pairs) < count:
+        remaining = sorted(
+            (m, d)
+            for m in unique_m
+            for d in unique_d
+            if m != d and (m, d) not in pairs
+        )
+        pairs.update(rng.sample(remaining, count - len(pairs)))
     return sorted(pairs)
 
 

@@ -1,0 +1,301 @@
+"""The declarative scenario plane: evaluation requests and sweep specs.
+
+The paper's quantity ``H_{M,D}(S)`` is fully determined by five inputs:
+the topology (scale + seed + IXP augmentation), the pair set ``M × D``,
+the deployment ``S``, and the rank model.  An :class:`EvalRequest`
+captures exactly those inputs in a canonical, hashable form, so that
+
+* experiments can *declare* the scenarios they need instead of
+  evaluating metrics imperatively,
+* the scheduler (:func:`repro.experiments.runner.run_experiments`) can
+  dedupe identical scenarios *across* experiments — baselines shared by
+  several figures are computed once per run, and
+* results can be keyed content-addressed in a persistent on-disk store
+  (:mod:`repro.experiments.store`), making repeated runs incremental.
+
+Canonicalization rules (anything that breaks one of these changes every
+stored scenario hash, so treat them as a stable format):
+
+1. ``scale`` is the scale *name* (the name pins ``n`` via
+   :data:`repro.experiments.config.SCALES`), ``seed`` the topology seed,
+   ``ixp`` the Appendix J augmentation flag.
+2. ``pairs`` are deduplicated and sorted ascending as ``(m, d)`` tuples;
+   the metric is an average, so pair order never affects the value, and
+   sorting makes equal pair *sets* collide onto one scenario.
+3. The deployment is stored as two sorted ASN tuples, ``full`` and
+   ``simplex`` membership (the §5.3.2 modes rank differently, so they
+   are part of the identity).
+4. The rank model is its :attr:`repro.core.rank.RankModel.label` token
+   (e.g. ``"security_2nd"`` or ``"security_3rd/LP2"``), which encodes
+   both the security placement and the LP variant and parses back via
+   :func:`model_from_token`.
+5. The scenario hash is the SHA-256 of the compact, key-sorted JSON of
+   :meth:`EvalRequest.canonical` (first 20 hex digits).  The canonical
+   dict embeds two versions: :data:`SCENARIO_FORMAT` (this
+   representation) and :data:`repro.core.routing.ENGINE_VERSION` (the
+   routing *semantics* — an evaluation input like any other), so either
+   kind of change invalidates old stores instead of silently serving
+   stale results.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from ..core.deployment import Deployment
+from ..core.metrics import (
+    AttackHappiness,
+    Interval,
+    MetricResult,
+    _mean_interval,
+)
+from ..core.rank import LocalPreference, RankModel, SecurityModel
+from ..core.routing import ENGINE_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .runner import ExperimentContext
+
+#: Bump when the canonical representation changes; part of every hash.
+SCENARIO_FORMAT = 1
+
+
+def model_token(model: RankModel) -> str:
+    """The canonical string form of a rank model (its ``label``)."""
+    return model.label
+
+
+def model_from_token(token: str) -> RankModel:
+    """Parse a :func:`model_token` back into a :class:`RankModel`."""
+    placement, _, lp = token.partition("/")
+    if lp in ("", "LP"):
+        preference = LocalPreference()
+    elif lp.startswith("LP"):
+        preference = LocalPreference(peer_window=int(lp[2:]))
+    else:
+        raise ValueError(f"unparseable local-preference token {lp!r}")
+    return RankModel(SecurityModel(placement), preference)
+
+
+@dataclass(frozen=True)
+class EvalRequest:
+    """One fully-specified ``H_{M,D}(S)`` evaluation (see module docs).
+
+    Build with :meth:`build` (or :func:`request_for` inside an
+    experiment); the constructor trusts its arguments to already be
+    canonical.
+    """
+
+    scale: str
+    seed: int
+    ixp: bool
+    pairs: tuple[tuple[int, int], ...]
+    deployment_full: tuple[int, ...]
+    deployment_simplex: tuple[int, ...]
+    model: str
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        scale: str,
+        seed: int,
+        ixp: bool,
+        pairs: Iterable[tuple[int, int]],
+        deployment: Deployment,
+        model: RankModel,
+    ) -> "EvalRequest":
+        """Canonicalize raw inputs into a request (rules in module docs)."""
+        return cls(
+            scale=scale,
+            seed=seed,
+            ixp=bool(ixp),
+            pairs=tuple(sorted({(int(m), int(d)) for m, d in pairs})),
+            deployment_full=tuple(sorted(deployment.full)),
+            deployment_simplex=tuple(sorted(deployment.simplex)),
+            model=model_token(model),
+        )
+
+    # -- the evaluation-side views ------------------------------------
+    def to_deployment(self) -> Deployment:
+        return Deployment(
+            full=frozenset(self.deployment_full),
+            simplex=frozenset(self.deployment_simplex),
+        )
+
+    def to_model(self) -> RankModel:
+        return model_from_token(self.model)
+
+    # -- canonical form -----------------------------------------------
+    def canonical(self) -> dict:
+        """The JSON-ready canonical dict this request hashes over."""
+        return {
+            "format": SCENARIO_FORMAT,
+            "engine": ENGINE_VERSION,
+            "scale": self.scale,
+            "seed": self.seed,
+            "ixp": self.ixp,
+            "pairs": [list(p) for p in self.pairs],
+            "deployment_full": list(self.deployment_full),
+            "deployment_simplex": list(self.deployment_simplex),
+            "model": self.model,
+        }
+
+    @functools.cached_property
+    def scenario_hash(self) -> str:
+        """Content address: SHA-256 over the canonical JSON (20 hex chars).
+
+        Cached per instance (the dataclass is frozen, so the canonical
+        form cannot change): results lookups hash-address requests on
+        every access, and re-serializing a thousand-pair sweep each time
+        would dominate the consume phase.
+        """
+        blob = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        ).encode()
+        return hashlib.sha256(blob).hexdigest()[:20]
+
+
+def request_for(
+    ectx: "ExperimentContext",
+    pairs: Iterable[tuple[int, int]],
+    deployment: Deployment,
+    model: RankModel,
+) -> EvalRequest:
+    """Build a request for ``ectx``'s topology (the usual entry point)."""
+    return EvalRequest.build(
+        scale=ectx.scale.name,
+        seed=ectx.seed,
+        ixp=ectx.ixp,
+        pairs=pairs,
+        deployment=deployment,
+        model=model,
+    )
+
+
+def collect_requests(*parts) -> list[EvalRequest]:
+    """Pull every :class:`EvalRequest` out of nested plan structures.
+
+    Experiments keep their plans in whatever shape reads best — tuples
+    of ``(step, baseline, {model: request})``, dicts, lists — and
+    declare them by flattening here: mappings are walked by value,
+    sequences elementwise, requests collected in encounter order, and
+    any other leaf (labels, deployments, rollout steps) is ignored.
+    """
+    out: list[EvalRequest] = []
+
+    def walk(obj) -> None:
+        if isinstance(obj, EvalRequest):
+            out.append(obj)
+        elif isinstance(obj, Mapping):
+            for value in obj.values():
+                walk(value)
+        elif isinstance(obj, (list, tuple)):
+            for value in obj:
+                walk(value)
+
+    for part in parts:
+        walk(part)
+    return out
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A named collection of requests declared by one experiment."""
+
+    name: str
+    requests: tuple[EvalRequest, ...]
+
+    @classmethod
+    def empty(cls, name: str) -> "SweepSpec":
+        """An experiment that needs no metric scenarios (gadget/sim runs)."""
+        return cls(name=name, requests=())
+
+    @classmethod
+    def of(cls, name: str, requests: Iterable[EvalRequest]) -> "SweepSpec":
+        return cls(name=name, requests=tuple(requests))
+
+    def __iter__(self) -> Iterator[EvalRequest]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def hashes(self) -> frozenset[str]:
+        return frozenset(r.scenario_hash for r in self.requests)
+
+
+class EvalResults:
+    """The results mapping handed to every experiment's ``run`` phase."""
+
+    def __init__(self, by_hash: Mapping[str, MetricResult]):
+        self._by_hash = dict(by_hash)
+
+    def for_request(self, request: EvalRequest) -> MetricResult:
+        try:
+            return self._by_hash[request.scenario_hash]
+        except KeyError:
+            raise KeyError(
+                f"scenario {request.scenario_hash} was not evaluated; "
+                "was it declared in the experiment's requests()? "
+                "(run experiments via repro.experiments.runner.run_experiments)"
+            ) from None
+
+    def delta(self, request: EvalRequest, baseline: EvalRequest) -> Interval:
+        """Bound-wise ``H(S) − H(∅)`` between two evaluated scenarios.
+
+        Uses :meth:`Interval.bound_delta` (the Figures 7-12 quantity),
+        *not* the conservative ``Interval.__sub__``.
+        """
+        return self.for_request(request).value.bound_delta(
+            self.for_request(baseline).value
+        )
+
+    def __contains__(self, request: EvalRequest) -> bool:
+        return request.scenario_hash in self._by_hash
+
+    def __len__(self) -> int:
+        return len(self._by_hash)
+
+
+# ----------------------------------------------------------------------
+# MetricResult (de)serialization for the persistent store
+# ----------------------------------------------------------------------
+
+def result_to_record(result: MetricResult) -> dict:
+    """Serialize a MetricResult to integers (exact round-trip).
+
+    Only the per-pair happy counts are stored; the averaged interval is
+    rederived on load by the same arithmetic (:func:`_mean_interval`)
+    over the same pair order, so it reproduces bit-for-bit.
+    """
+    return {
+        "pairs": [[r.attacker, r.destination] for r in result.per_pair],
+        "happy_lower": [r.happy_lower for r in result.per_pair],
+        "happy_upper": [r.happy_upper for r in result.per_pair],
+        "num_sources": [r.num_sources for r in result.per_pair],
+    }
+
+
+def result_from_record(record: dict) -> MetricResult:
+    """Inverse of :func:`result_to_record`."""
+    per_pair = tuple(
+        AttackHappiness(
+            attacker=m,
+            destination=d,
+            happy_lower=lower,
+            happy_upper=upper,
+            num_sources=sources,
+        )
+        for (m, d), lower, upper, sources in zip(
+            record["pairs"],
+            record["happy_lower"],
+            record["happy_upper"],
+            record["num_sources"],
+        )
+    )
+    return MetricResult(value=_mean_interval(per_pair), per_pair=per_pair)

@@ -1,0 +1,92 @@
+"""Persistent, content-addressed store of evaluated scenarios.
+
+Every evaluated :class:`~repro.experiments.scenarios.EvalRequest` is
+written as one JSONL record ``{hash, request, result}`` under the cache
+directory (``.repro-cache/results.jsonl`` by default), so
+
+* a repeated ``write-md`` or CLI run reevaluates nothing (warm store),
+* an interrupted run resumes where it stopped — records are appended
+  as soon as each scenario finishes, and a truncated trailing line
+  (killed mid-write) is skipped on load rather than poisoning the file,
+* adding one new experiment to a run only evaluates *its* missing
+  scenarios.
+
+The store is append-only; the newest record for a hash wins (identical
+by construction — the hash covers every evaluation input, including the
+routing-semantics version :data:`repro.core.routing.ENGINE_VERSION`, so
+engine behavior changes start cold automatically).  Delete the cache
+directory to reclaim space or force a cold run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..core.metrics import MetricResult
+from .scenarios import EvalRequest, result_from_record, result_to_record
+
+#: Default cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class ResultStore:
+    """JSONL-backed map from scenario hash to :class:`MetricResult`.
+
+    The file is read once at construction; ``put`` appends immediately
+    (crash-safe incremental progress) and updates the in-memory index.
+    ``hits``/``misses`` count lookups made through the scheduler so CLI
+    runs can report cache effectiveness.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+        self.path = self.root / "results.jsonl"
+        self.hits = 0
+        self.misses = 0
+        self._records: dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Truncated tail from an interrupted run; everything
+                # before it is intact, so skip rather than fail.
+                continue
+            if isinstance(record, dict) and "hash" in record and "result" in record:
+                self._records[record["hash"]] = record
+
+    # -- mapping views --------------------------------------------------
+    def __contains__(self, scenario_hash: str) -> bool:
+        return scenario_hash in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, scenario_hash: str) -> MetricResult | None:
+        record = self._records.get(scenario_hash)
+        if record is None:
+            return None
+        return result_from_record(record["result"])
+
+    # -- writes ---------------------------------------------------------
+    def put(self, request: EvalRequest, result: MetricResult) -> str:
+        """Persist one evaluated scenario; returns its hash."""
+        scenario_hash = request.scenario_hash
+        record = {
+            "hash": scenario_hash,
+            "request": request.canonical(),
+            "result": result_to_record(result),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._records[scenario_hash] = record
+        return scenario_hash

@@ -17,7 +17,7 @@ from ..core.perceivable import attack_closures
 from ..core.rank import RankModel, SecurityModel
 from ..core.routing import compute_routing_outcome
 from ..topology.tiers import Tier
-from .runner import ExperimentContext, _FORK_STATE, fork_map
+from .runner import ExperimentContext
 
 
 @dataclass(frozen=True)
@@ -54,10 +54,10 @@ class PartitionSweep:
     by_source_tier: dict[tuple[str, Tier], PartitionFractions]
 
 
-def _pair_partition_worker(pair: tuple[int, int]):
-    ctx = _FORK_STATE["ctx"]
-    models: tuple[RankModel, ...] = _FORK_STATE["models"]
-    tier_of = _FORK_STATE["tier_of"]
+def _pair_partition_worker(ectx: ExperimentContext, pair: tuple[int, int], state: dict):
+    ctx = ectx.graph_ctx
+    models: tuple[RankModel, ...] = state["models"]
+    tier_of = ectx.tiers.tier_of
     attacker, destination = pair
     baseline_model = RankModel(SecurityModel.BASELINE, models[0].local_preference)
     baseline = compute_routing_outcome(
@@ -105,13 +105,8 @@ def partition_sweep(
     models: tuple[RankModel, ...],
 ) -> PartitionSweep:
     """Run the partition classification over ``pairs`` for ``models``."""
-    results = fork_map(
-        _pair_partition_worker,
-        pairs,
-        ectx.processes,
-        ctx=ectx.graph_ctx,
-        models=models,
-        tier_of=ectx.tiers.tier_of,
+    results = ectx.map_tasks(
+        _pair_partition_worker, pairs, state={"models": models}
     )
     totals: dict[str, list[int]] = {m.label: [0, 0, 0, 0] for m in models}
     tier_totals: dict[tuple[str, Tier], list[int]] = {}
@@ -149,14 +144,3 @@ def partition_sweep(
             key: to_fractions(bucket) for key, bucket in tier_totals.items()
         },
     )
-
-
-def baseline_happy_for_pairs(
-    ectx: ExperimentContext, pairs: list[tuple[int, int]]
-) -> tuple[float, float]:
-    """Average S = ∅ happy fraction (lower, upper) over ``pairs``."""
-    from ..core.deployment import Deployment
-    from ..core.rank import BASELINE
-
-    result = ectx.metric(pairs, Deployment.empty(), BASELINE)
-    return result.value.lower, result.value.upper

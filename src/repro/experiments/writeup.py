@@ -1,12 +1,22 @@
-"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table & figure."""
+"""Regenerate EXPERIMENTS.md: paper-vs-measured for every table & figure.
+
+All runs go through the scenario scheduler
+(:func:`repro.experiments.runner.run_experiments`), so scenarios shared
+between figures are evaluated once, a persistent
+:class:`~repro.experiments.store.ResultStore` makes repeated runs
+incremental, and ``trials > 1`` reruns every sweep over consecutive
+topology seeds and aggregates rows as mean ± stderr.
+"""
 
 from __future__ import annotations
 
 import time
+from typing import Sequence
 
-from .config import DEFAULT_SEED
-from .registry import ExperimentResult, all_experiments
-from .runner import make_context
+from .config import DEFAULT_SEED, get_scale
+from .registry import ExperimentResult, aggregate_trials, all_experiments
+from .runner import make_context, run_experiments
+from .store import ResultStore
 
 #: Experiments rerun on the IXP-augmented graph for the Appendix J pass.
 IXP_FAMILY = ("baseline", "fig3", "fig4", "fig5", "fig6", "fig13", "lp2")
@@ -16,7 +26,7 @@ HEADER = """\
 
 Regenerated with::
 
-    python -m repro.experiments write-md --scale {scale} --seed {seed}
+    python -m repro.experiments write-md --scale {scale} --seed {seed}{trial_flag}
 
 Substrate: seeded synthetic Internet-like AS graph (see DESIGN.md §1 for
 the substitution rationale).  Absolute percentages therefore differ from
@@ -25,8 +35,37 @@ the paper's UCLA-graph numbers; the claims being reproduced are the
 the crossovers sit.  Every block below states the paper's expectation and
 prints the measured reproduction.
 
-Scale: `{scale}` (n = {n} ASes), seed {seed}, wall time {elapsed:.0f}s.
+Scale: `{scale}` (n = {n} ASes), seed {seed}, trials {trials}, wall time {elapsed:.0f}s.
 """
+
+
+def run_trials(
+    experiment_ids: Sequence[str],
+    scale: str = "small",
+    seed: int = DEFAULT_SEED,
+    processes: int = 1,
+    trials: int = 1,
+    store: ResultStore | None = None,
+    ixp: bool = False,
+) -> list[ExperimentResult]:
+    """Run experiments over ``trials`` consecutive topology seeds.
+
+    Each trial gets its own context (topology seed ``seed + t``); all
+    trials share the scheduler's store, so repeated invocations are
+    incremental.  With ``trials == 1`` the single trial's results are
+    returned untouched; otherwise rows become mean ± stderr aggregates.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    per_trial = []
+    for trial in range(trials):
+        with make_context(
+            scale=scale, seed=seed + trial, ixp=ixp, processes=processes
+        ) as ectx:
+            per_trial.append(
+                run_experiments(ectx, list(experiment_ids), store=store)
+            )
+    return aggregate_trials(per_trial)
 
 
 def run_all(
@@ -35,17 +74,25 @@ def run_all(
     processes: int = 1,
     include_ixp: bool = True,
     experiment_ids: list[str] | None = None,
+    trials: int = 1,
+    store: ResultStore | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment (plus the Appendix J reruns)."""
     specs = all_experiments()
     ids = experiment_ids or list(specs)
-    ectx = make_context(scale=scale, seed=seed, processes=processes)
-    results = [specs[eid].run(ectx) for eid in ids]
+    results = run_trials(
+        ids, scale=scale, seed=seed, processes=processes, trials=trials,
+        store=store,
+    )
     if include_ixp:
-        ixp_ctx = make_context(scale=scale, seed=seed, ixp=True, processes=processes)
-        for eid in IXP_FAMILY:
-            if eid in ids and specs[eid].supports_ixp:
-                results.append(specs[eid].run(ixp_ctx))
+        ixp_ids = [
+            eid for eid in IXP_FAMILY if eid in ids and specs[eid].supports_ixp
+        ]
+        if ixp_ids:
+            results += run_trials(
+                ixp_ids, scale=scale, seed=seed, processes=processes,
+                trials=trials, store=store, ixp=True,
+            )
     return results
 
 
@@ -55,20 +102,28 @@ def write_markdown(
     seed: int = DEFAULT_SEED,
     processes: int = 1,
     include_ixp: bool = True,
+    trials: int = 1,
+    store: ResultStore | None = None,
 ) -> list[ExperimentResult]:
     """Run everything and write EXPERIMENTS.md to ``path``."""
     started = time.time()
     results = run_all(
-        scale=scale, seed=seed, processes=processes, include_ixp=include_ixp
+        scale=scale, seed=seed, processes=processes, include_ixp=include_ixp,
+        trials=trials, store=store,
     )
     elapsed = time.time() - started
-    from .config import get_scale
-
     blocks = [
-        HEADER.format(scale=scale, seed=seed, n=get_scale(scale).n, elapsed=elapsed)
+        HEADER.format(
+            scale=scale,
+            seed=seed,
+            n=get_scale(scale).n,
+            elapsed=elapsed,
+            trials=trials,
+            trial_flag=f" --trials {trials}" if trials > 1 else "",
+        )
     ]
     for result in results:
-        blocks.append(f"## {result.experiment_id} — {result.title}\n")
+        blocks.append(f"## {result.label} — {result.title}\n")
         blocks.append(f"*Paper reference:* {result.paper_reference}")
         blocks.append(f"*Paper expectation:* {result.paper_expectation}\n")
         blocks.append("```text\n" + result.text.rstrip() + "\n```\n")

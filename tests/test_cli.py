@@ -40,19 +40,24 @@ class TestParser:
 
 
 class TestMain:
-    def test_list(self, capsys):
+    def test_list_shows_ixp_support(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig3" in out and "wedgie" in out
+        assert "ixp rerun" in out
+        wedgie_line = next(l for l in out.splitlines() if l.startswith("wedgie"))
+        fig3_line = next(l for l in out.splitlines() if l.startswith("fig3"))
+        assert " no " in wedgie_line
+        assert " yes " in fig3_line
 
     def test_run_single(self, capsys):
-        assert main(["run", "hardness", "--scale", "tiny"]) == 0
+        assert main(["run", "hardness", "--scale", "tiny", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Max-k-Security" in out
 
     def test_run_unknown_id(self):
         with pytest.raises(KeyError):
-            main(["run", "fig99", "--scale", "tiny"])
+            main(["run", "fig99", "--scale", "tiny", "--no-cache"])
 
 
 class TestWriteMarkdown:

@@ -3,7 +3,7 @@ reproduces the paper's qualitative shape."""
 
 import pytest
 
-from repro.experiments import all_experiments, make_context
+from repro.experiments import all_experiments, make_context, run_experiments
 from repro.experiments.registry import ExperimentResult
 
 
@@ -15,7 +15,7 @@ def ectx():
 @pytest.fixture(scope="module")
 def results(ectx):
     """Run every experiment once; individual tests assert on shapes."""
-    return {eid: spec.run(ectx) for eid, spec in all_experiments().items()}
+    return {r.experiment_id: r for r in run_experiments(ectx)}
 
 
 class TestRegistry:
@@ -221,30 +221,47 @@ class TestParallelRunner:
         """The Appendix H parallelization must not change any number."""
         from repro.core import BASELINE, Deployment
 
-        serial_ctx = make_context(scale="tiny", seed=77, processes=1)
-        parallel_ctx = make_context(scale="tiny", seed=77, processes=2)
-        asns = serial_ctx.graph.asns
-        pairs = [(asns[-i], asns[i]) for i in range(1, 12)]
-        deployment = Deployment.of(asns[: len(asns) // 3])
-        serial = serial_ctx.metric(pairs, deployment, BASELINE)
-        parallel = parallel_ctx.metric(pairs, deployment, BASELINE)
+        with make_context(scale="tiny", seed=77, processes=1) as serial_ctx, \
+                make_context(scale="tiny", seed=77, processes=2) as parallel_ctx:
+            asns = serial_ctx.graph.asns
+            pairs = [(asns[-i], asns[i]) for i in range(1, 12)]
+            deployment = Deployment.of(asns[: len(asns) // 3])
+            serial = serial_ctx.metric(pairs, deployment, BASELINE)
+            parallel = parallel_ctx.metric(pairs, deployment, BASELINE)
         assert serial.value == parallel.value
         assert serial.per_pair == parallel.per_pair
 
-    def test_fork_map_serial_fallback_for_few_items(self):
-        from repro.experiments.runner import fork_map
-
-        result = fork_map(lambda x: x * 2, [1, 2, 3], processes=4)
+    def test_map_tasks_serial_fallback_for_few_items(self, ectx):
+        result = ectx.map_tasks(
+            lambda ectx, item, state: item * 2, [1, 2, 3]
+        )
         assert result == [2, 4, 6]
+
+    def test_persistent_pool_is_reused(self):
+        """The fork pool is created once per context and reused."""
+        from repro.core import BASELINE, Deployment
+
+        with make_context(scale="tiny", seed=77, processes=2) as ectx:
+            asns = ectx.graph.asns
+            pairs = [(asns[-i], asns[i]) for i in range(1, 12)]
+            ectx.metric(pairs, Deployment.empty(), BASELINE)
+            first_pool = ectx._pool
+            assert first_pool is not None
+            ectx.metric(pairs, Deployment.empty(), BASELINE)
+            assert ectx._pool is first_pool
+        assert ectx._pool is None  # closed on context exit
 
 
 class TestIxpVariant:
     def test_ixp_context_runs_partition_family(self):
-        ectx = make_context(scale="tiny", seed=2013, ixp=True)
-        from repro.experiments import get_experiment
+        from repro.experiments import run_experiment
 
-        result = get_experiment("fig3").run(ectx)
-        assert result.experiment_id == "fig3_ixp"
+        ectx = make_context(scale="tiny", seed=2013, ixp=True)
+        result = run_experiment(ectx, "fig3")
+        assert result.experiment_id == "fig3"  # registry id stays first-class
+        assert result.ixp is True
+        assert result.label == "fig3_ixp"
+        assert "[IXP graph]" in result.render()
         assert result.rows
 
     def test_ixp_graph_has_more_peerings(self):

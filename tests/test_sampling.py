@@ -38,6 +38,37 @@ class TestSamplePairs:
         b = sampling.sample_pairs(random.Random(9), population, population, 20)
         assert a == b
 
+    def test_count_met_whenever_population_allows(self, rng):
+        """The old rejection loop silently undersampled small populations."""
+        for n_att, n_dst, count in [(3, 3, 6), (2, 5, 9), (4, 4, 12), (1, 8, 7)]:
+            attackers = list(range(n_att))
+            destinations = list(range(n_dst))
+            population = sum(
+                1 for m in attackers for d in destinations if m != d
+            )
+            pairs = sampling.sample_pairs(rng, attackers, destinations, count)
+            assert len(pairs) == min(count, population), (n_att, n_dst, count)
+            assert len(set(pairs)) == len(pairs)
+            assert all(m != d for m, d in pairs)
+
+    def test_whole_population_enumerated_when_requested(self, rng):
+        pairs = sampling.sample_pairs(rng, [1, 2, 3], [1, 2, 3], 100)
+        assert pairs == [(m, d) for m in (1, 2, 3) for d in (1, 2, 3) if m != d]
+
+    def test_exact_top_up_is_deterministic(self):
+        # a population barely above the request forces the exact top-up
+        # path; two identical rngs must agree.
+        attackers = list(range(5))
+        destinations = list(range(5))
+        a = sampling.sample_pairs(random.Random(3), attackers, destinations, 19)
+        b = sampling.sample_pairs(random.Random(3), attackers, destinations, 19)
+        assert a == b
+        assert len(a) == 19
+
+    def test_duplicate_population_entries_do_not_inflate(self, rng):
+        pairs = sampling.sample_pairs(rng, [1, 1, 2], [2, 2, 3], 50)
+        assert pairs == [(1, 2), (1, 3), (2, 3)]
+
 
 class TestSampleMembers:
     def test_whole_population_when_small(self, rng):

@@ -1,0 +1,366 @@
+"""Tests for the declarative scenario plane: requests, store, scheduler,
+and multi-seed trial aggregation."""
+
+import json
+
+import pytest
+
+from repro.core import BASELINE, SECURITY_SECOND, Deployment
+from repro.core.rank import LP2, LocalPreference, RankModel, SecurityModel
+from repro.experiments import (
+    EvalRequest,
+    ResultStore,
+    make_context,
+    run_experiments,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    aggregate_rows,
+    aggregate_trials,
+)
+from repro.experiments.runner import evaluate_requests
+from repro.experiments.scenarios import (
+    model_from_token,
+    model_token,
+    request_for,
+    result_from_record,
+    result_to_record,
+)
+
+
+@pytest.fixture(scope="module")
+def ectx():
+    return make_context(scale="tiny", seed=2013)
+
+
+def _request(ectx, pairs, deployment=None, model=BASELINE):
+    return request_for(ectx, pairs, deployment or Deployment.empty(), model)
+
+
+class TestEvalRequest:
+    def test_canonicalization_sorts_and_dedupes(self, ectx):
+        a, b, c = ectx.graph.asns[:3]
+        req = _request(ectx, [(c, a), (a, b), (c, a)])
+        assert req.pairs == tuple(sorted({(a, b), (c, a)}))
+
+    def test_equal_scenarios_hash_equal(self, ectx):
+        a, b, c = ectx.graph.asns[:3]
+        dep = Deployment.of([a, b])
+        one = _request(ectx, [(a, b), (b, c)], dep, SECURITY_SECOND)
+        two = _request(ectx, [(b, c), (a, b)], dep, SECURITY_SECOND)
+        assert one == two
+        assert one.scenario_hash == two.scenario_hash
+
+    def test_distinct_inputs_change_the_hash(self, ectx):
+        a, b, c = ectx.graph.asns[:3]
+        base = _request(ectx, [(a, b)])
+        assert base.scenario_hash != _request(ectx, [(a, c)]).scenario_hash
+        assert (
+            base.scenario_hash
+            != _request(ectx, [(a, b)], Deployment.of([c])).scenario_hash
+        )
+        assert (
+            base.scenario_hash
+            != _request(ectx, [(a, b)], model=SECURITY_SECOND).scenario_hash
+        )
+
+    def test_simplex_mode_is_part_of_identity(self, ectx):
+        a, b, c = ectx.graph.asns[:3]
+        full = _request(ectx, [(a, b)], Deployment(full=frozenset([c])))
+        simplex = _request(ectx, [(a, b)], Deployment(simplex=frozenset([c])))
+        assert full.scenario_hash != simplex.scenario_hash
+
+    def test_round_trip_views(self, ectx):
+        a, b, c = ectx.graph.asns[:3]
+        dep = Deployment(full=frozenset([a]), simplex=frozenset([b]))
+        req = _request(ectx, [(b, c)], dep, SECURITY_SECOND)
+        assert req.to_deployment() == dep
+        assert req.to_model() == SECURITY_SECOND
+
+    def test_canonical_dict_is_json_stable(self, ectx):
+        a, b = ectx.graph.asns[:2]
+        req = _request(ectx, [(a, b)])
+        blob = json.dumps(req.canonical(), sort_keys=True)
+        rebuilt = EvalRequest.build(
+            scale=req.scale,
+            seed=req.seed,
+            ixp=req.ixp,
+            pairs=req.pairs,
+            deployment=req.to_deployment(),
+            model=req.to_model(),
+        )
+        assert json.dumps(rebuilt.canonical(), sort_keys=True) == blob
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            BASELINE,
+            SECURITY_SECOND,
+            RankModel(SecurityModel.THIRD, LP2),
+            RankModel(SecurityModel.FIRST, LocalPreference(peer_window=7)),
+        ],
+    )
+    def test_model_token_round_trip(self, model):
+        assert model_from_token(model_token(model)) == model
+
+    def test_model_token_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            model_from_token("security_2nd/QP3")
+
+
+class TestStoreRoundTrip:
+    def _evaluated(self, ectx, count=6):
+        asns = ectx.graph.asns
+        pairs = [(asns[-i], asns[i]) for i in range(1, count)]
+        dep = ectx.catalog.get("t12_full")
+        req = request_for(ectx, pairs, dep, SECURITY_SECOND)
+        return req, ectx.metric(req.pairs, dep, SECURITY_SECOND)
+
+    def test_result_record_round_trip_is_exact(self, ectx):
+        req, result = self._evaluated(ectx)
+        loaded = result_from_record(
+            json.loads(json.dumps(result_to_record(result)))
+        )
+        assert loaded.per_pair == result.per_pair
+        assert loaded.value == result.value  # bit-for-bit, not approx
+
+    def test_store_persists_and_reloads(self, ectx, tmp_path):
+        req, result = self._evaluated(ectx)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        reopened = ResultStore(tmp_path / "cache")
+        assert req.scenario_hash in reopened
+        assert len(reopened) == 1
+        loaded = reopened.get(req.scenario_hash)
+        assert loaded.per_pair == result.per_pair
+        assert loaded.value == result.value
+
+    def test_truncated_tail_is_skipped(self, ectx, tmp_path):
+        req, result = self._evaluated(ectx)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"hash": "deadbeef", "resul')  # killed mid-write
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.get(req.scenario_hash) is not None
+
+    def test_missing_hash_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        assert store.get("no-such-scenario") is None
+        assert "no-such-scenario" not in store
+
+
+class TestScheduler:
+    def test_global_dedupe_across_experiments(self):
+        """fig7a and fig11 share their H(∅) baseline: one evaluation."""
+        with make_context(scale="tiny", seed=2013) as ectx:
+            from repro.experiments import get_experiment
+
+            declared = [
+                req
+                for eid in ("fig7a", "fig11")
+                for req in get_experiment(eid).requests(ectx)
+            ]
+            unique = {req.scenario_hash for req in declared}
+            assert len(unique) < len(declared)
+            run_experiments(ectx, ["fig7a", "fig11"])
+            assert ectx.metric_evaluations == len(unique)
+
+    def test_requests_reject_foreign_topology(self):
+        with make_context(scale="tiny", seed=1) as ectx, \
+                make_context(scale="tiny", seed=2) as other:
+            a, b = ectx.graph.asns[:2]
+            req = request_for(other, [(a, b)], Deployment.empty(), BASELINE)
+            with pytest.raises(ValueError):
+                evaluate_requests(ectx, [req])
+
+    def test_second_run_evaluates_zero_scenarios(self, tmp_path):
+        """Warm-store rerun: the acceptance counter stays at zero."""
+        ids = ["baseline", "fig7a", "fig11", "nonstubs", "guideline_t2"]
+        store = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013) as cold:
+            run_experiments(cold, ids, store=store)
+        assert cold.metric_evaluations > 0
+        assert store.misses == cold.metric_evaluations
+        # a brand-new context and store instance: only the JSONL persists.
+        warm_store = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013) as warm:
+            warm_results = run_experiments(warm, ids, store=warm_store)
+        assert warm.metric_evaluations == 0
+        assert warm_store.misses == 0
+        assert warm_store.hits > 0
+        assert warm_results[0].rows  # cached results still render rows
+
+    def test_incremental_new_experiment_only_adds_missing(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013) as ectx:
+            run_experiments(ectx, ["fig7a"], store=store)
+        first = store.misses
+        store2 = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013) as ectx:
+            run_experiments(ectx, ["fig7a", "fig11"], store=store2)
+            # fig11 reuses fig7a's baseline + pair set; only its own
+            # per-step scenarios are new.
+            assert 0 < store2.misses < first
+
+    def test_write_md_twice_is_fully_warm(self, tmp_path):
+        """The end-to-end acceptance check at write-md granularity."""
+        # restrict to two experiments to keep the double full run cheap;
+        # the IXP rerun of `baseline` exercises the variant scoping.
+        from repro.experiments import run_all
+
+        ids = ["baseline", "fig7a"]
+        cold_store = ResultStore(tmp_path / "cache")
+        run_all(
+            scale="tiny", include_ixp=True, experiment_ids=ids,
+            store=cold_store,
+        )
+        assert cold_store.misses > 0
+        warm_store = ResultStore(tmp_path / "cache")
+        run_all(
+            scale="tiny", include_ixp=True, experiment_ids=ids,
+            store=warm_store,
+        )
+        assert warm_store.misses == 0
+        assert warm_store.hits == cold_store.misses
+
+
+class TestAggregation:
+    def _result(self, rows, seed):
+        return ExperimentResult(
+            experiment_id="fake",
+            title="t",
+            paper_reference="r",
+            paper_expectation="e",
+            rows=rows,
+            text="body",
+            seed=seed,
+        )
+
+    def test_mean_and_stderr_math(self):
+        rows_a = [{"model": "m", "value": 0.1, "count": 3}]
+        rows_b = [{"model": "m", "value": 0.3, "count": 5}]
+        mean, err = aggregate_rows([rows_a, rows_b])
+        assert mean == [{"model": "m", "value": pytest.approx(0.2), "count": 4.0}]
+        # sample std of (0.1, 0.3) is ~0.1414; stderr = std / sqrt(2) = 0.1
+        assert err[0]["value"] == pytest.approx(0.1)
+        assert err[0]["count"] == pytest.approx(1.0)
+
+    def test_identity_fields_group_rows(self):
+        trials = [
+            [{"model": "a", "v": 1.0}, {"model": "b", "v": 10.0}],
+            [{"model": "b", "v": 20.0}, {"model": "a", "v": 3.0}],
+        ]
+        mean, _ = aggregate_rows(trials)
+        by_model = {row["model"]: row["v"] for row in mean}
+        assert by_model == {"a": 2.0, "b": 15.0}
+
+    def test_none_and_missing_values_are_tolerated(self):
+        trials = [
+            [{"model": "a", "v": 1.0, "t1": None}],
+            [{"model": "a", "v": 3.0, "t1": 0.5}],
+        ]
+        mean, err = aggregate_rows(trials)
+        assert mean[0]["v"] == 2.0
+        assert mean[0]["t1"] == 0.5  # averaged over trials that have it
+        assert err[0]["t1"] == 0.0
+
+    def test_single_trial_returned_untouched(self):
+        result = self._result([{"model": "m", "value": 0.123456789}], seed=1)
+        aggregated = aggregate_trials([[result]])
+        assert aggregated[0] is result
+        assert aggregated[0].rows[0]["value"] == 0.123456789
+        assert aggregated[0].trials == 1
+
+    def test_multi_trial_result_carries_confidence(self):
+        a = self._result([{"model": "m", "value": 0.1}], seed=1)
+        b = self._result([{"model": "m", "value": 0.3}], seed=2)
+        (agg,) = aggregate_trials([[a], [b]])
+        assert agg.trials == 2
+        assert agg.trial_seeds == (1, 2)
+        assert agg.rows[0]["value"] == pytest.approx(0.2)
+        assert agg.row_stderr[0]["value"] == pytest.approx(0.1)
+        assert "mean ± stderr over 2 trials" in agg.text
+        assert "±" in agg.text
+        assert "trials: 2" in agg.render()
+
+    def test_count_columns_never_render_as_percentages(self):
+        a = self._result(
+            [{"workload": "w", "avg_down": 1.3, "frac": 0.5, "pairs": 20}],
+            seed=1,
+        )
+        b = self._result(
+            [{"workload": "w", "avg_down": 0.7, "frac": 0.7, "pairs": 20}],
+            seed=2,
+        )
+        (agg,) = aggregate_trials([[a], [b]])
+        assert "1 ±" in agg.text       # float count column (mean 1.0)
+        assert "60.0% ±" in agg.text   # fraction column
+        assert "20 ±0" in agg.text     # integer count column
+        assert "2000.0%" not in agg.text
+
+    def test_fraction_column_detection(self):
+        from repro.experiments.registry import fraction_columns
+
+        rows = [
+            [{"m": "a", "frac": 0.3, "count": 4, "avg": 1.3, "none": None}],
+            [{"m": "a", "frac": -0.9, "count": 5, "avg": 0.2}],
+        ]
+        assert fraction_columns(rows) == frozenset({"frac"})
+
+    def test_misaligned_trials_raise(self):
+        a = self._result([], seed=1)
+        b = ExperimentResult(
+            experiment_id="other", title="t", paper_reference="r",
+            paper_expectation="e", seed=2,
+        )
+        with pytest.raises(ValueError):
+            aggregate_trials([[a], [b]])
+
+
+class TestTrialsEndToEnd:
+    def test_trials_reuse_store_and_aggregate(self, tmp_path):
+        from repro.experiments import run_trials
+
+        store = ResultStore(tmp_path / "cache")
+        results = run_trials(
+            ["baseline"], scale="tiny", seed=2013, trials=2, store=store
+        )
+        (result,) = results
+        assert result.trials == 2
+        assert result.trial_seeds == (2013, 2014)
+        assert result.row_stderr and "H_lower" in result.row_stderr[0]
+        # trial seeds are distinct topologies: distinct scenarios.
+        assert store.misses == 4  # 2 scenarios × 2 seeds
+
+    def test_cli_run_with_trials_and_processes(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        code = main(
+            [
+                "run", "baseline",
+                "--scale", "tiny",
+                "--processes", "2",
+                "--trials", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "±" in out
+        assert "scenario store" in out
+        # rerunning warm evaluates nothing new.
+        assert main(
+            [
+                "run", "baseline",
+                "--scale", "tiny",
+                "--processes", "2",
+                "--trials", "2",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        # exact token: "40 evaluated" must not satisfy the zero check.
+        assert ": 0 evaluated" in out
