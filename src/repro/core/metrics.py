@@ -173,8 +173,11 @@ def security_metric(
     """
     ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
     if mapper is map:
-        # Batched fast path: one fixing pass per pair over the context's
-        # reusable scratch buffers, no outcome materialization.
+        # Batched fast path: pairs are evaluated destination-major (one
+        # attacker-free fixing pass per destination, an O(dirty) delta
+        # re-fix per attacker — see repro.core.routing.DestinationSweep)
+        # over the context's reusable scratch buffers, no outcome
+        # materialization.
         results = tuple(batch_happiness(ctx, pairs, deployment, model))
     else:
         results = tuple(
@@ -191,16 +194,25 @@ def batch_happiness(
     pairs: Sequence[tuple[int, int]],
     deployment: Deployment,
     model: RankModel,
+    *,
+    destination_major: bool = True,
 ) -> list[AttackHappiness]:
     """Happy-source counts for many ``(m, d)`` pairs in one sweep.
 
     Amortizes deployment-mask construction and scratch-buffer reuse
-    across the whole pair list (see
-    :func:`repro.core.routing.batch_happiness_counts`).  This is what
-    each worker of :mod:`repro.experiments.runner` runs on its chunk.
+    across the whole pair list, and (by default) evaluates the pairs
+    destination-major through :class:`repro.core.routing.DestinationSweep`
+    so every destination's attacker-free state is fixed once and each
+    attacker costs only its dirty region (see
+    :func:`repro.core.routing.batch_happiness_counts`; results are in
+    input pair order and bit-identical on both paths).  This is what
+    each worker of :mod:`repro.experiments.runner` runs on its share of
+    destination groups.
     """
     pairs = list(pairs)  # consumed twice below; accept one-shot iterables
-    counts = batch_happiness_counts(topology, pairs, deployment, model)
+    counts = batch_happiness_counts(
+        topology, pairs, deployment, model, destination_major=destination_major
+    )
     return [
         AttackHappiness(
             attacker=m,

@@ -39,8 +39,12 @@ pack ``(key, index)`` into a single int.  :class:`RouteInfo` and the
 per-AS mapping :attr:`RoutingOutcome.routes` are preserved as a thin
 lazily-materialized view over the flat result arrays, so callers keep
 the seed API.  :func:`batch_outcomes` and the count-only fast paths
-amortize deployment-mask construction across whole pair sweeps.  The
-original dict-based engine survives verbatim in
+amortize deployment-mask construction across whole pair sweeps, and
+:class:`DestinationSweep` goes one step further for the metric's
+destination-major workloads: the attacker-free fixing pass runs once
+per destination and each attacker is evaluated by *delta re-fixing*
+only the region of the graph whose routing record actually changes.
+The original dict-based engine survives verbatim in
 :mod:`repro.core.refimpl` for differential testing.
 
 The context's scratch buffers make routing computations *not*
@@ -53,6 +57,7 @@ from __future__ import annotations
 
 import enum
 import heapq
+import weakref
 from array import array
 from collections.abc import Mapping
 from dataclasses import dataclass
@@ -175,6 +180,7 @@ class RoutingContext:
         "_choice_init",
         "_nhops_init",
         "_last_counts",
+        "_sweep_owner",
     )
 
     def __init__(self, graph: ASGraph) -> None:
@@ -260,6 +266,13 @@ class RoutingContext:
         self._choice_init = [-1] * n
         self._nhops_init: list[None] = [None] * n
         self._last_counts: tuple[int, int, int, int, int, int] = (0,) * 6
+        #: Weak reference to the :class:`DestinationSweep` whose baseline
+        #: currently lives in the scratch buffers (None after any
+        #: whole-graph ``_run``).  Lets a sweep detect that someone else
+        #: used the scratch in between and resynchronize from its
+        #: snapshot instead of delta-fixing garbage; weak so a finished
+        #: sweep's O(V+E) snapshot is not pinned alive by the context.
+        self._sweep_owner: "weakref.ref[DestinationSweep] | None" = None
 
     # ------------------------------------------------------------------
     # ASN-keyed compatibility views (built lazily; the engine itself
@@ -373,6 +386,7 @@ class RoutingContext:
         """Run one fixing pass over the scratch buffers (``att_i = -1``
         for normal conditions).  Results live in the scratch arrays and
         :attr:`_last_counts` until the next run."""
+        self._sweep_owner = None
         n = self.n
         fixed = self._fixed
         key_l = self._key
@@ -842,6 +856,727 @@ def normal_conditions(
 
 
 # ----------------------------------------------------------------------
+# Destination-major incremental sweeps
+# ----------------------------------------------------------------------
+class DestinationSweep:
+    """Amortized attacker sweeps against one ``(d, deployment, model)``.
+
+    The paper's metric evaluates many attackers per destination; a full
+    fixing pass per ``(m, d)`` pair recomputes the attacker-free routing
+    state of ``d`` from scratch every time.  This class runs that
+    attacker-free pass **once**, snapshots the stable arrays, and
+    computes each attacker's stable state by *delta re-fixing*: only the
+    region whose record actually changes relative to normal conditions
+    is reprocessed, and the touched entries are restored from the
+    snapshot between attackers.  Per-attacker cost is ``O(dirty region)``
+    instead of ``O(|V| + |E|)``.
+
+    Correctness rests on two invariants of the fixing pass:
+
+    * **Dependency closure** — a record can change only through its
+      baseline next-hop set (reach/wire/choice/endpoint all flow through
+      ``nhops``), so resetting the reverse-``nhops`` closure of the
+      attacker invalidates every AS whose baseline state is void;
+    * **Monotone frontier** — any *new* route the attack introduces
+      reaches an AS through a strictly increasing rank key, so a clean
+      fixed AS needs re-fixing only when a dirty neighbor's re-fixed
+      route offers a key ``<=`` its baseline key (detected during the
+      delta pass and handled by dynamically invalidating that AS, its
+      dependency closure, and re-collecting offers for any pending node
+      that had accumulated an offer from the invalidated region).
+
+    Both invalidation channels preserve the Dijkstra order of the delta
+    pass (an invalidated AS re-enters the frontier above every key
+    popped so far), so the pass fixes exactly the stable state of
+    Theorem 2.1 — differential tests hold it bit-identical to the
+    per-pair engine and to :mod:`repro.core.refimpl`.
+
+    The sweep owns the context's scratch buffers while it works; if
+    another computation uses the context in between, the next delta
+    detects it (via ``RoutingContext._sweep_owner``) and resynchronizes
+    from the snapshot in one ``O(n)`` copy.  Like the context itself, a
+    sweep is not thread-safe; fork workers each own a clone.
+    """
+
+    __slots__ = (
+        "__weakref__",
+        "ctx",
+        "destination",
+        "deployment",
+        "model",
+        "_dest_i",
+        "_signing",
+        "_ranking",
+        "_b_fixed",
+        "_b_key",
+        "_b_cls",
+        "_b_len",
+        "_b_reach",
+        "_b_wire",
+        "_b_sec",
+        "_b_choice",
+        "_b_endpoint",
+        "_b_nhops",
+        "_b_counts",
+        "_dep_start",
+        "_dep_node",
+        "_dirty",
+    )
+
+    def __init__(
+        self,
+        topology: ASGraph | RoutingContext,
+        destination: int,
+        deployment: Deployment | None = None,
+        model: RankModel = BASELINE,
+    ) -> None:
+        ctx = _as_context(topology)
+        self.ctx = ctx
+        self.destination = destination
+        self.deployment = deployment = deployment or _EMPTY_DEPLOYMENT
+        self.model = model
+        dest_i, _ = ctx._check_pair(destination, None)
+        self._dest_i = dest_i
+        signing, ranking = ctx.deployment_masks(deployment)
+        self._signing = signing
+        self._ranking = ranking
+        # The attacker-free fixing pass, run exactly once per sweep.
+        ctx._run(dest_i, -1, signing, ranking, model)
+        n = ctx.n
+        self._b_fixed = bytes(ctx._fixed)
+        self._b_key = list(ctx._key)
+        self._b_cls = bytes(ctx._cls)
+        self._b_len = list(ctx._len)
+        self._b_reach = bytes(ctx._reach)
+        self._b_wire = bytes(ctx._wire)
+        self._b_sec = bytes(ctx._sec)
+        self._b_choice = list(ctx._choice)
+        self._b_endpoint = bytes(ctx._endpoint)
+        # Inner next-hop lists are shared with the scratch arrays; the
+        # delta pass never mutates a restored list (every mutation path
+        # starts with a reset to None followed by a fresh list), which is
+        # the same contract _snapshot relies on.
+        self._b_nhops = list(ctx._nhops)
+        self._b_counts = ctx._last_counts
+        # Reverse-dependency CSR over the baseline next-hop sets: node
+        # u's slice lists every v whose baseline BPR set contains u.
+        # Built once per destination, amortized over all its attackers.
+        counts = [0] * n
+        for h in self._b_nhops:
+            if h:
+                for u in h:
+                    counts[u] += 1
+        dep_start = array("l", [0] * (n + 1))
+        total = 0
+        for i in range(n):
+            dep_start[i] = total
+            total += counts[i]
+        dep_start[n] = total
+        dep_node = array("l", [0] * total)
+        cursor = dep_start.tolist()
+        for v, h in enumerate(self._b_nhops):
+            if h:
+                for u in h:
+                    dep_node[cursor[u]] = v
+                    cursor[u] += 1
+        self._dep_start = dep_start
+        self._dep_node = dep_node
+        self._dirty = bytearray(n)
+        ctx._sweep_owner = weakref.ref(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_sources(self) -> int:
+        """Sources per attack: |V| minus destination and attacker."""
+        return self.ctx.n - 2
+
+    def baseline_counts(self) -> tuple[int, int]:
+        """``(happy_lower, happy_upper)`` under normal conditions."""
+        return self._b_counts[0], self._b_counts[1]
+
+    def baseline_outcome(self) -> RoutingOutcome:
+        """The attacker-free :class:`RoutingOutcome` (``m = None``)."""
+        self._ensure_scratch()
+        ctx = self.ctx
+        ctx._last_counts = self._b_counts
+        return ctx._snapshot(
+            self.destination, None, self.deployment, self.model, self._dest_i, -1
+        )
+
+    def happiness_counts(self, attacker: int) -> tuple[int, int, int]:
+        """``(happy_lower, happy_upper, num_sources)`` for one attacker."""
+        counts, touched = self._delta(self._attacker_index(attacker))
+        self._restore(touched)
+        return counts[0], counts[1], self.ctx.n - 2
+
+    def counts(self, attackers: Sequence[int]) -> list[tuple[int, int, int]]:
+        """:meth:`happiness_counts` for many attackers in one sweep."""
+        return [self.happiness_counts(m) for m in attackers]
+
+    def outcome(self, attacker: int) -> RoutingOutcome:
+        """The full stable state for one attacker (API-compatible with
+        :func:`compute_routing_outcome`, computed incrementally)."""
+        att_i = self._attacker_index(attacker)
+        counts, touched = self._delta(att_i)
+        ctx = self.ctx
+        ctx._last_counts = counts
+        snap = ctx._snapshot(
+            self.destination, attacker, self.deployment, self.model,
+            self._dest_i, att_i,
+        )
+        self._restore(touched)
+        return snap
+
+    # ------------------------------------------------------------------
+    def _attacker_index(self, attacker: int) -> int:
+        att_i = self.ctx.index_of.get(attacker)
+        if att_i is None:
+            raise ValueError(f"attacker AS {attacker} not in graph")
+        if att_i == self._dest_i:
+            raise ValueError("attacker and destination must differ")
+        self._ensure_scratch()
+        return att_i
+
+    def _ensure_scratch(self) -> None:
+        """Resync the scratch buffers from the snapshot if another
+        computation used the context since the last delta."""
+        ctx = self.ctx
+        owner = ctx._sweep_owner
+        if owner is not None and owner() is self:
+            return
+        ctx._fixed[:] = self._b_fixed
+        ctx._key[:] = self._b_key
+        ctx._cls[:] = self._b_cls
+        ctx._len[:] = self._b_len
+        ctx._reach[:] = self._b_reach
+        ctx._wire[:] = self._b_wire
+        ctx._sec[:] = self._b_sec
+        ctx._choice[:] = self._b_choice
+        ctx._endpoint[:] = self._b_endpoint
+        ctx._nhops[:] = self._b_nhops
+        ctx._sweep_owner = weakref.ref(self)
+
+    def _restore(self, touched: list[int]) -> None:
+        """Return every touched scratch entry to its baseline value."""
+        ctx = self.ctx
+        fixed = ctx._fixed
+        key_l = ctx._key
+        cls_b = ctx._cls
+        len_l = ctx._len
+        reach_b = ctx._reach
+        wire_b = ctx._wire
+        sec_b = ctx._sec
+        choice_l = ctx._choice
+        endp_b = ctx._endpoint
+        nhops = ctx._nhops
+        b_fixed = self._b_fixed
+        b_key = self._b_key
+        b_cls = self._b_cls
+        b_len = self._b_len
+        b_reach = self._b_reach
+        b_wire = self._b_wire
+        b_sec = self._b_sec
+        b_choice = self._b_choice
+        b_endp = self._b_endpoint
+        b_nhops = self._b_nhops
+        dirty = self._dirty
+        for x in touched:
+            fixed[x] = b_fixed[x]
+            key_l[x] = b_key[x]
+            cls_b[x] = b_cls[x]
+            len_l[x] = b_len[x]
+            reach_b[x] = b_reach[x]
+            wire_b[x] = b_wire[x]
+            sec_b[x] = b_sec[x]
+            choice_l[x] = b_choice[x]
+            endp_b[x] = b_endp[x]
+            nhops[x] = b_nhops[x]
+            dirty[x] = 0
+
+    def _delta(self, att_i: int) -> tuple[tuple[int, int, int, int, int, int], list[int]]:
+        """Delta re-fix for one attacker.
+
+        Leaves the scratch buffers holding the attack's stable state and
+        returns ``(counts, touched)``; the caller must :meth:`_restore`
+        ``touched`` before the next delta.
+        """
+        ctx = self.ctx
+        dest_i = self._dest_i
+        fixed = ctx._fixed
+        key_l = ctx._key
+        cls_b = ctx._cls
+        len_l = ctx._len
+        reach_b = ctx._reach
+        wire_b = ctx._wire
+        sec_b = ctx._sec
+        choice_l = ctx._choice
+        endp_b = ctx._endpoint
+        nhops = ctx._nhops
+        edges = ctx._edges
+        signing = self._signing
+        ranking = self._ranking
+        dirty = self._dirty
+        dep_start = self._dep_start
+        dep_node = self._dep_node
+        model = self.model
+        coeffs = model.packed_coeffs()
+        if coeffs is not None:
+            cm, lm, sm = coeffs
+            key_fn = None
+        else:
+            cm = lm = sm = 0
+            key_fn = model.packed_key
+        uses_sec = model.uses_security
+        dest_signed = 1 if signing[dest_i] else 0
+        heap: list[int] = []
+        push = heapq.heappush
+        pop = heapq.heappop
+        touched: list[int] = []
+
+        # Inner helpers bind the hot arrays as default arguments: the
+        # delta pass calls them thousands of times per attacker, and the
+        # LOAD_FAST locals are measurably cheaper than closure cells.
+        def reset_closure(
+            w: int,
+            dirty=dirty,
+            touched=touched,
+            fixed=fixed,
+            key_l=key_l,
+            sec_b=sec_b,
+            nhops=nhops,
+            dep_start=dep_start,
+            dep_node=dep_node,
+        ) -> list[int]:
+            """Mark ``w`` and every baseline dependent dirty and reset
+            their scratch entries; returns the newly reset nodes.
+
+            Only the fields the re-fix actually relies on are reset:
+            ``fixed``/``key`` drive the pass, ``nhops`` must be None for
+            the stale-offer repair test, and ``sec`` because the pop
+            step sets it conditionally.  The rest (cls/len/reach/wire/
+            choice/endpoint) are overwritten by the first improvement or
+            at pop time and are never read while unfixed.
+            """
+            stack = [w]
+            resets: list[int] = []
+            while stack:
+                x = stack.pop()
+                if dirty[x]:
+                    continue
+                dirty[x] = 1
+                touched.append(x)
+                resets.append(x)
+                fixed[x] = 0
+                key_l[x] = _INF
+                sec_b[x] = 0
+                nhops[x] = None
+                for y in dep_node[dep_start[x] : dep_start[x + 1]]:
+                    if not dirty[y]:
+                        stack.append(y)
+            return resets
+
+        def gather(
+            x: int,
+            edges=edges,
+            fixed=fixed,
+            key_l=key_l,
+            cls_b=cls_b,
+            len_l=len_l,
+            reach_b=reach_b,
+            wire_b=wire_b,
+            nhops=nhops,
+            ranking=ranking,
+            heap=heap,
+            push=push,
+            dest_i=dest_i,
+            att_i=att_i,
+            dest_signed=dest_signed,
+            cm=cm,
+            lm=lm,
+            sm=sm,
+            key_fn=key_fn,
+            RouteClass=RouteClass,
+        ) -> None:
+            """Collect offers to a freshly reset ``x`` from every fixed
+            neighbor (roots included, with their root semantics)."""
+            for e in edges[x]:
+                u = e >> 3
+                if not fixed[u]:
+                    continue
+                # From x's edge entry: ucls is the class u assigns to a
+                # route learned from x; relationships are symmetric, so
+                # the class x assigns to a route from u is 2 - ucls, and
+                # u may export to x iff u's best route is a customer
+                # route or u is x's provider (ucls == CUSTOMER).
+                ucls = (e >> 1) & 3
+                if u == dest_i:
+                    ln = 1
+                    wire_u = dest_signed
+                    reach_u = 1
+                elif u == att_i:
+                    ln = 2
+                    wire_u = 0
+                    reach_u = 2
+                else:
+                    if cls_b[u] != 0 and ucls != 0:
+                        continue
+                    ln = len_l[u] + 1
+                    wire_u = wire_b[u]
+                    reach_u = reach_b[u]
+                icls = 2 - ucls
+                if key_fn is None:
+                    k = icls * cm + ln * lm + (
+                        0 if (wire_u and ranking[x]) else sm
+                    )
+                else:
+                    k = key_fn(RouteClass(icls), ln, bool(wire_u and ranking[x]))
+                cur = key_l[x]
+                if k < cur:
+                    key_l[x] = k
+                    cls_b[x] = icls
+                    len_l[x] = ln
+                    reach_b[x] = reach_u
+                    wire_b[x] = wire_u
+                    nhops[x] = [u]
+                    push(heap, (k << PACK_SHIFT) | x)
+                elif k == cur:
+                    nhops[x].append(u)  # type: ignore[union-attr]
+                    reach_b[x] |= reach_u
+                    if not wire_u:
+                        wire_b[x] = 0
+
+        def invalidate(
+            w: int,
+            edges=edges,
+            fixed=fixed,
+            key_l=key_l,
+            cls_b=cls_b,
+            len_l=len_l,
+            reach_b=reach_b,
+            wire_b=wire_b,
+            nhops=nhops,
+            ranking=ranking,
+            heap=heap,
+            push=push,
+            dest_i=dest_i,
+            att_i=att_i,
+            dest_signed=dest_signed,
+            cm=cm,
+            lm=lm,
+            sm=sm,
+            key_fn=key_fn,
+            RouteClass=RouteClass,
+        ) -> None:
+            """Dynamically invalidate clean fixed ``w``: reset its
+            dependency closure, re-collect each reset node's offers from
+            its still-fixed neighbors, and repair unfixed nodes holding
+            offers from the invalidated region.  Both directions of each
+            reset node's adjacency are handled in one scan."""
+            resets = reset_closure(w)
+            repair: list[int] | None = None
+            for x in resets:
+                for e in edges[x]:
+                    u = e >> 3
+                    if fixed[u]:
+                        # Offer u -> x (x was just reset); inline gather.
+                        ucls = (e >> 1) & 3
+                        if u == dest_i:
+                            ln = 1
+                            wire_u = dest_signed
+                            reach_u = 1
+                        elif u == att_i:
+                            ln = 2
+                            wire_u = 0
+                            reach_u = 2
+                        else:
+                            if cls_b[u] != 0 and ucls != 0:
+                                continue
+                            ln = len_l[u] + 1
+                            wire_u = wire_b[u]
+                            reach_u = reach_b[u]
+                        icls = 2 - ucls
+                        if key_fn is None:
+                            k = icls * cm + ln * lm + (
+                                0 if (wire_u and ranking[x]) else sm
+                            )
+                        else:
+                            k = key_fn(
+                                RouteClass(icls), ln, bool(wire_u and ranking[x])
+                            )
+                        cur = key_l[x]
+                        if k < cur:
+                            key_l[x] = k
+                            cls_b[x] = icls
+                            len_l[x] = ln
+                            reach_b[x] = reach_u
+                            wire_b[x] = wire_u
+                            nhops[x] = [u]
+                            push(heap, (k << PACK_SHIFT) | x)
+                        elif k == cur:
+                            nhops[x].append(u)  # type: ignore[union-attr]
+                            reach_b[x] |= reach_u
+                            if not wire_u:
+                                wire_b[x] = 0
+                    else:
+                        # u is unfixed: if it accumulated x's (now void)
+                        # offer, it must be repaired below.
+                        h = nhops[u]
+                        if h is not None and x in h:
+                            if repair is None:
+                                repair = [u]
+                            else:
+                                repair.append(u)
+            if repair is None:
+                return
+            for x in repair:
+                if nhops[x] is None:
+                    continue  # already repaired via another reset
+                # The node accumulated an offer from a now-invalid
+                # record.  Every live offer it has received came from a
+                # still-fixed neighbor, so wiping the accumulated state
+                # and re-collecting from fixed neighbors reconstructs
+                # exactly the valid offers (stale heap entries are
+                # skipped by the key check at pop time).
+                key_l[x] = _INF
+                nhops[x] = None
+                gather(x)
+
+        # Deferred knife-edge ties: a re-fixed route that exactly ties a
+        # clean node's baseline key without changing its wire security
+        # alters only the node's BPR membership and reach — those are
+        # patched by the cheap soft phase at the end instead of hard
+        # re-fixing the node's whole dependency closure.
+        ties: list[tuple[int, int]] = []
+
+        # Step 1: void the attacker's own record and everything whose
+        # baseline best routes pass through it.
+        resets0 = reset_closure(att_i)
+        # Step 2: the attacker becomes a root announcing the bogus
+        # one-hop path "m d" via legacy BGP.
+        fixed[att_i] = 1
+        len_l[att_i] = 1
+        reach_b[att_i] = 2
+        endp_b[att_i] = 2
+        wire_b[att_i] = 0
+        choice_l[att_i] = -1
+        # Step 3: the bogus announcement reaches every neighbor (legacy
+        # BGP lets the lie flow everywhere: the claimed path "m d" looks
+        # like a customer route the attacker may export to anyone).
+        pending: list[int] = []
+        for e in edges[att_i]:
+            w = e >> 3
+            if dirty[w]:
+                continue  # reset in step 1; gather() delivers the offer
+            vcls = (e >> 1) & 3
+            if key_fn is None:
+                k = vcls * cm + 2 * lm + sm
+            else:
+                k = key_fn(RouteClass(vcls), 2, False)
+            if fixed[w]:
+                if w == dest_i:
+                    continue
+                cur = key_l[w]
+                if k < cur or (k == cur and wire_b[w]):
+                    pending.append(w)
+                elif k == cur:
+                    ties.append((w, att_i))
+                continue
+            # Unreachable under normal conditions: first offer ever.
+            cur = key_l[w]
+            if k < cur:
+                key_l[w] = k
+                cls_b[w] = vcls
+                len_l[w] = 2
+                reach_b[w] = 2
+                wire_b[w] = 0
+                nhops[w] = [att_i]
+                push(heap, (k << PACK_SHIFT) | w)
+        # Step 4: boundary offers for the step-1 resets (the attacker is
+        # fixed now, so the collection includes the bogus offer exactly
+        # once).
+        for x in resets0:
+            if x != att_i:
+                gather(x)
+        # Step 5: neighbors whose baseline route loses to the bogus one.
+        for w in pending:
+            if not dirty[w]:
+                invalidate(w)
+
+        # Step 6: the delta fixing pass, clean fixed nodes acting as a
+        # frozen boundary whose re-offers were collected above.
+        while heap:
+            entry = pop(heap)
+            v = entry & _IDX_MASK
+            if fixed[v] or (entry >> PACK_SHIFT) != key_l[v]:
+                continue
+            nh = nhops[v]
+            ch = nh[0] if len(nh) == 1 else min(nh)  # type: ignore[index, arg-type]
+            choice_l[v] = ch
+            endp_b[v] = endp_b[ch]
+            w_ = wire_b[v]
+            if w_:
+                if uses_sec and ranking[v]:
+                    sec_b[v] = 1
+                if not signing[v]:
+                    wire_b[v] = 0
+            fixed[v] = 1
+            if not dirty[v]:
+                dirty[v] = 1  # first touch of a baseline-unreachable node
+                touched.append(v)
+            exports_all = cls_b[v] == 0
+            ln = len_l[v] + 1
+            wire_v = wire_b[v]
+            reach_v = reach_b[v]
+            deferred: list[int] | None = None
+            for e in edges[v]:
+                if not (exports_all or (e & 1)):
+                    continue
+                w = e >> 3
+                if fixed[w]:
+                    # Boundary edge into the fixed region.  Re-fixed
+                    # (dirty) targets and roots never need another look;
+                    # a clean target is invalidated when the re-fixed
+                    # route beats its baseline key or ties it while
+                    # flipping its wire security (deferred so this
+                    # relaxation finishes first — the re-collection then
+                    # delivers v's offer exactly once).  An exact tie
+                    # that preserves wire security only widens the
+                    # target's knife edge: record it for the soft phase.
+                    if dirty[w] or w == dest_i or w == att_i:
+                        continue
+                    vcls = (e >> 1) & 3
+                    if key_fn is None:
+                        k = vcls * cm + ln * lm + (
+                            0 if (wire_v and ranking[w]) else sm
+                        )
+                    else:
+                        k = key_fn(
+                            RouteClass(vcls), ln, bool(wire_v and ranking[w])
+                        )
+                    cur = key_l[w]
+                    if k < cur or (k == cur and not wire_v and wire_b[w]):
+                        if deferred is None:
+                            deferred = [w]
+                        else:
+                            deferred.append(w)
+                    elif k == cur:
+                        ties.append((w, v))
+                    continue
+                vcls = (e >> 1) & 3
+                if key_fn is None:
+                    k = vcls * cm + ln * lm + (
+                        0 if (wire_v and ranking[w]) else sm
+                    )
+                else:
+                    k = key_fn(RouteClass(vcls), ln, bool(wire_v and ranking[w]))
+                cur = key_l[w]
+                if k < cur:
+                    key_l[w] = k
+                    cls_b[w] = vcls
+                    len_l[w] = ln
+                    reach_b[w] = reach_v
+                    wire_b[w] = wire_v
+                    nhops[w] = [v]
+                    push(heap, (k << PACK_SHIFT) | w)
+                elif k == cur:
+                    nhops[w].append(v)  # type: ignore[union-attr]
+                    reach_b[w] |= reach_v
+                    if not wire_v:
+                        wire_b[w] = 0
+            if deferred is not None:
+                for w in deferred:
+                    if not dirty[w]:
+                        invalidate(w)
+
+        # Step 7 (soft phase): apply the deferred knife-edge ties.  Each
+        # tie adds one member to a clean node's BPR set — its key, class,
+        # length and wire security are untouched, so nothing it offers
+        # changes; only reach, choice and endpoint can shift, and those
+        # flow strictly upward in rank key through BPR membership.  The
+        # worklist recomputes affected nodes in increasing key order:
+        # clean consumers come from the baseline dependency CSR, re-fixed
+        # consumers from the new BPR sets of this pass.
+        if ties:
+            cons: dict[int, list[int]] = {}
+            for v in touched:
+                if fixed[v] and dirty[v] == 1 and v != att_i:
+                    for u in nhops[v]:  # type: ignore[union-attr]
+                        lst = cons.get(u)
+                        if lst is None:
+                            cons[u] = [v]
+                        else:
+                            lst.append(v)
+            work: list[int] = []
+            for w, u in ties:
+                if dirty[w] == 1:
+                    continue  # hard-invalidated later; tie re-collected
+                if dirty[w]:
+                    nhops[w].append(u)  # type: ignore[union-attr]
+                else:
+                    dirty[w] = 2
+                    touched.append(w)
+                    # Copy-on-write: the baseline inner list is shared
+                    # with the snapshot and must stay pristine.
+                    nhops[w] = nhops[w] + [u]  # type: ignore[operator]
+                push(work, (key_l[w] << PACK_SHIFT) | w)
+            while work:
+                x = pop(work) & _IDX_MASK
+                nh = nhops[x]
+                r = 0
+                for u in nh:  # type: ignore[union-attr]
+                    r |= reach_b[u]
+                ch = nh[0] if len(nh) == 1 else min(nh)  # type: ignore[index, arg-type]
+                ep = endp_b[ch]
+                if (
+                    r == reach_b[x]
+                    and ep == endp_b[x]
+                    and ch == choice_l[x]
+                ):
+                    continue
+                if not dirty[x]:
+                    dirty[x] = 2
+                    touched.append(x)
+                reach_b[x] = r
+                choice_l[x] = ch
+                endp_b[x] = ep
+                for j in range(dep_start[x], dep_start[x + 1]):
+                    y = dep_node[j]
+                    if dirty[y] != 1 and fixed[y]:
+                        push(work, (key_l[y] << PACK_SHIFT) | y)
+                lst = cons.get(x)
+                if lst is not None:
+                    for y in lst:
+                        push(work, (key_l[y] << PACK_SHIFT) | y)
+
+        # O(touched) count update: start from the attacker-free counts,
+        # swap out each touched node's baseline contribution for its new
+        # one.  Baseline reach is always DEST, and roots never count.
+        lo, up, alo, aup, sec_n, nfx = self._b_counts
+        b_fixed = self._b_fixed
+        b_sec = self._b_sec
+        for x in touched:
+            if b_fixed[x]:
+                lo -= 1
+                up -= 1
+                sec_n -= b_sec[x]
+                nfx -= 1
+            if x != att_i and fixed[x]:
+                r = reach_b[x]
+                if r == 1:
+                    lo += 1
+                    up += 1
+                elif r == 2:
+                    alo += 1
+                    aup += 1
+                else:
+                    up += 1
+                    aup += 1
+                sec_n += sec_b[x]
+                nfx += 1
+        return (lo, up, alo, aup, sec_n, nfx), touched
+
+
+# ----------------------------------------------------------------------
 # Batched evaluation
 # ----------------------------------------------------------------------
 def batch_outcomes(
@@ -875,24 +1610,61 @@ def batch_happiness_counts(
     pairs: Sequence[tuple[int | None, int]],
     deployment: Deployment | None = None,
     model: RankModel = BASELINE,
+    *,
+    destination_major: bool = True,
 ) -> list[tuple[int, int, int]]:
     """``(happy_lower, happy_upper, num_sources)`` per ``(m, d)`` pair.
 
     The count-only fast path behind :func:`repro.core.metrics.security_metric`:
     no :class:`RoutingOutcome` is materialized and nothing is copied out
-    of the scratch buffers — each pair costs one fixing pass plus a
-    3-tuple.
+    of the scratch buffers.  With ``destination_major`` (the default)
+    pairs are grouped by destination and each group is evaluated through
+    a :class:`DestinationSweep` — one attacker-free fixing pass per
+    destination plus an ``O(dirty)`` delta per attacker; results are
+    returned in the input pair order either way, so the two paths are
+    interchangeable bit-for-bit.  ``destination_major=False`` forces the
+    PR 1 per-pair path (one full fixing pass per pair), kept for
+    differential testing and benchmarking.
     """
     ctx = _as_context(topology)
     deployment = deployment or _EMPTY_DEPLOYMENT
     signing, ranking = ctx.deployment_masks(deployment)
     n = ctx.n
-    out: list[tuple[int, int, int]] = []
-    for attacker, destination in pairs:
-        dest_i, att_i = ctx._check_pair(destination, attacker)
-        ctx._run(dest_i, att_i, signing, ranking, model)
-        counts = ctx._last_counts
-        out.append(
-            (counts[0], counts[1], n - (2 if attacker is not None else 1))
-        )
-    return out
+    pairs = list(pairs)
+    if not destination_major:
+        out: list[tuple[int, int, int]] = []
+        for attacker, destination in pairs:
+            dest_i, att_i = ctx._check_pair(destination, attacker)
+            ctx._run(dest_i, att_i, signing, ranking, model)
+            counts = ctx._last_counts
+            out.append(
+                (counts[0], counts[1], n - (2 if attacker is not None else 1))
+            )
+        return out
+    slots: list[tuple[int, int, int] | None] = [None] * len(pairs)
+    groups: dict[int, list[int]] = {}
+    for i, (_m, d) in enumerate(pairs):
+        groups.setdefault(d, []).append(i)
+    for d, idxs in groups.items():
+        attackers = [pairs[i][0] for i in idxs]
+        real = sum(1 for m in attackers if m is not None)
+        if real <= 1:
+            # Zero or one actual attacker: plain fixing passes beat a
+            # sweep's snapshot + dependency-CSR construction.
+            for i, m in zip(idxs, attackers):
+                dest_i, att_i = ctx._check_pair(d, m)
+                ctx._run(dest_i, att_i, signing, ranking, model)
+                counts = ctx._last_counts
+                slots[i] = (
+                    counts[0], counts[1], n - (2 if m is not None else 1)
+                )
+            continue
+        sweep = DestinationSweep(ctx, d, deployment, model)
+        for i in idxs:
+            m = pairs[i][0]
+            if m is None:
+                lo, up = sweep.baseline_counts()
+                slots[i] = (lo, up, n - 1)
+            else:
+                slots[i] = sweep.happiness_counts(m)
+    return slots  # type: ignore[return-value]

@@ -102,30 +102,38 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "run":
         store = _make_store(args)
         started = time.time()
-        results = run_trials(
-            args.ids,
-            scale=args.scale,
-            seed=args.seed,
-            processes=args.processes,
-            trials=args.trials,
-            store=store,
-            ixp=args.ixp,
-        )
+        try:
+            results = run_trials(
+                args.ids,
+                scale=args.scale,
+                seed=args.seed,
+                processes=args.processes,
+                trials=args.trials,
+                store=store,
+                ixp=args.ixp,
+            )
+        finally:
+            if store is not None:
+                store.close()
         for result in results:
             print(result.render())
         print(f"   [{time.time() - started:.1f}s] {_store_summary(store)}\n")
         return 0
     if args.command == "write-md":
         store = _make_store(args)
-        results = write_markdown(
-            args.out,
-            scale=args.scale,
-            seed=args.seed,
-            processes=args.processes,
-            include_ixp=not args.no_ixp,
-            trials=args.trials,
-            store=store,
-        )
+        try:
+            results = write_markdown(
+                args.out,
+                scale=args.scale,
+                seed=args.seed,
+                processes=args.processes,
+                include_ixp=not args.no_ixp,
+                trials=args.trials,
+                store=store,
+            )
+        finally:
+            if store is not None:
+                store.close()
         print(f"wrote {args.out} ({len(results)} experiment blocks)")
         print(f"   {_store_summary(store)}")
         return 0

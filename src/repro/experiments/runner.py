@@ -3,14 +3,19 @@ scenario scheduler.
 
 The paper parallelized its metric computations with MPI across
 supercomputer nodes (Appendix H); here the unit of *parallelism* is a
-chunk of (attacker, destination) pairs, fanned out over local processes
-with ``fork`` so the topology is shared with the workers for free (no
-per-task pickling of the graph).  Each worker evaluates its chunk with
-the batched routing fast path
-(:func:`repro.core.metrics.batch_happiness`), so the routing context's
-scratch buffers and deployment masks are built once per chunk rather
-than once per pair — forked workers each own a copy-on-write clone of
-the context, so buffer reuse is race-free.
+bin of whole **destination groups** — (m, d) pairs grouped by ``d``,
+bin-packed largest-first over the worker slots (:func:`_pack_groups`)
+so skewed group sizes cannot starve the pool — fanned out over local
+processes with ``fork`` so the topology is shared with the workers for
+free (no per-task pickling of the graph).  Each worker evaluates its
+bin with the destination-major routing fast path
+(:func:`repro.core.metrics.batch_happiness` →
+:class:`repro.core.routing.DestinationSweep`): every destination's
+attacker-free baseline is fixed exactly once per worker and each
+attacker costs only its dirty region.  Forked workers each own a
+copy-on-write clone of the context, so scratch-buffer reuse is
+race-free, and results are scattered back into request pair order so
+parallel runs reproduce serial runs bit-for-bit.
 
 Two layers live here:
 
@@ -71,23 +76,62 @@ def _run_task(task: tuple) -> object:
 def _metric_chunk_worker(
     ectx: "ExperimentContext", chunk: Sequence[tuple[int, int]], state: dict
 ):
-    """Evaluate one chunk of (m, d) pairs with the batched fast path."""
+    """Evaluate one task of (m, d) pairs with the destination-major
+    batched fast path (pairs arrive destination-contiguous, so each
+    worker runs every destination's attacker-free baseline exactly
+    once)."""
     return batch_happiness(
         ectx.graph_ctx, chunk, state["deployment"], state["model"]
     )
 
 
-def _chunked(pairs: Sequence[T], chunks: int) -> list[list[T]]:
-    """Split ``pairs`` into at most ``chunks`` contiguous runs."""
-    chunks = max(1, min(chunks, len(pairs)))
-    size, extra = divmod(len(pairs), chunks)
-    out: list[list[T]] = []
-    start = 0
-    for i in range(chunks):
-        end = start + size + (1 if i < extra else 0)
-        out.append(list(pairs[start:end]))
-        start = end
-    return out
+def _destination_groups(
+    pairs: Sequence[tuple[int | None, int]],
+) -> list[list[int]]:
+    """Group pair *indices* by destination (first-appearance order;
+    input order is preserved within each group)."""
+    groups: dict[int, list[int]] = {}
+    for i, (_m, d) in enumerate(pairs):
+        existing = groups.get(d)
+        if existing is None:
+            groups[d] = [i]
+        else:
+            existing.append(i)
+    return list(groups.values())
+
+
+def _pack_groups(
+    groups: Sequence[Sequence[T]], slots: int, max_unit: int | None = None
+) -> list[list[T]]:
+    """Greedy largest-first bin-pack of destination groups over ``slots``.
+
+    The contiguous pair chunking this replaces starved the pool whenever
+    destination groups had skewed sizes (one giant group serialized a
+    worker while the rest idled).  Here every group larger than ``max_unit`` is first
+    split (the only case where a destination's baseline is recomputed —
+    once per shard), then shards are placed largest-first onto the
+    currently lightest bin, the classic LPT heuristic whose makespan is
+    within 4/3 of optimal.  Returns the non-empty bins, heaviest first.
+    """
+    slots = max(1, slots)
+    shards: list[Sequence[T]] = []
+    for group in groups:
+        if max_unit is not None and len(group) > max_unit:
+            for start in range(0, len(group), max_unit):
+                shards.append(group[start : start + max_unit])
+        else:
+            shards.append(group)
+    # Deterministic largest-first order (ties broken by first element).
+    shards.sort(key=lambda s: (-len(s), s[0] if len(s) else 0))
+    bins: list[list[T]] = [[] for _ in range(min(slots, len(shards)) or 1)]
+    loads = [0] * len(bins)
+    for shard in shards:
+        i = loads.index(min(loads))
+        bins[i].extend(shard)
+        loads[i] += len(shard)
+    packed = [b for b in bins if b]
+    packed.sort(key=len, reverse=True)
+    return packed
 
 
 @dataclass
@@ -203,18 +247,29 @@ class ExperimentContext:
         """
         pairs = list(pairs)
         self.metric_evaluations += 1
-        # One chunk per worker-slot ×4 keeps the pool busy while still
-        # amortizing mask/scratch setup over many pairs per task; the
-        # pool then consumes chunks one task at a time (chunksize=1 —
-        # the chunking here *is* the batching).
-        chunks = _chunked(pairs, self.processes * 4 if self.processes > 1 else 1)
+        # Shard whole *destination groups* (not raw pair chunks) across
+        # the pool so each worker fixes every destination's attacker-free
+        # baseline exactly once; groups are bin-packed largest-first so
+        # skewed group sizes cannot starve the pool, and only groups
+        # bigger than one bin's fair share are split.  Tasks are consumed
+        # one at a time (chunksize=1 — the packing here *is* the
+        # batching); results are scattered back into input pair order, so
+        # parallel and serial runs stay bit-identical.
+        slots = self.processes * 4 if self.processes > 1 else 1
+        max_unit = max(1, -(-len(pairs) // slots)) if pairs else None
+        bins = _pack_groups(_destination_groups(pairs), slots, max_unit)
         parts = self.map_tasks(
             _metric_chunk_worker,
-            chunks,
+            [[pairs[i] for i in bin_] for bin_ in bins],
             state={"deployment": deployment, "model": model},
             chunksize=1,
+            min_parallel=2,
         )
-        results = tuple(r for part in parts for r in part)
+        flat: list = [None] * len(pairs)
+        for bin_, part in zip(bins, parts):
+            for i, r in zip(bin_, part):
+                flat[i] = r
+        results = tuple(flat)
         return MetricResult(value=_mean_interval(results), per_pair=results)
 
 

@@ -19,9 +19,13 @@ stored scenario hash, so treat them as a stable format):
 1. ``scale`` is the scale *name* (the name pins ``n`` via
    :data:`repro.experiments.config.SCALES`), ``seed`` the topology seed,
    ``ixp`` the Appendix J augmentation flag.
-2. ``pairs`` are deduplicated and sorted ascending as ``(m, d)`` tuples;
-   the metric is an average, so pair order never affects the value, and
-   sorting makes equal pair *sets* collide onto one scenario.
+2. ``pairs`` are deduplicated and sorted **destination-grouped** — by
+   ``(d, m)`` ascending, stored as ``(m, d)`` tuples.  The metric is an
+   average, so pair order never affects the value, and sorting makes
+   equal pair *sets* collide onto one scenario; grouping by destination
+   additionally hands the evaluation layer contiguous attacker runs per
+   destination, which is what the destination-major routing engine
+   (:class:`repro.core.routing.DestinationSweep`) amortizes over.
 3. The deployment is stored as two sorted ASN tuples, ``full`` and
    ``simplex`` membership (the §5.3.2 modes rank differently, so they
    are part of the identity).
@@ -60,7 +64,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .runner import ExperimentContext
 
 #: Bump when the canonical representation changes; part of every hash.
-SCENARIO_FORMAT = 1
+#: 2: pair lists are canonicalized destination-grouped ((d, m) sort
+#: order) for the destination-major engine — old stores evaluate cold.
+SCENARIO_FORMAT = 2
 
 
 def model_token(model: RankModel) -> str:
@@ -113,7 +119,12 @@ class EvalRequest:
             scale=scale,
             seed=seed,
             ixp=bool(ixp),
-            pairs=tuple(sorted({(int(m), int(d)) for m, d in pairs})),
+            pairs=tuple(
+                sorted(
+                    {(int(m), int(d)) for m, d in pairs},
+                    key=lambda p: (p[1], p[0]),
+                )
+            ),
             deployment_full=tuple(sorted(deployment.full)),
             deployment_simplex=tuple(sorted(deployment.simplex)),
             model=model_token(model),

@@ -37,6 +37,13 @@ class ResultStore:
     (crash-safe incremental progress) and updates the in-memory index.
     ``hits``/``misses`` count lookups made through the scheduler so CLI
     runs can report cache effectiveness.
+
+    Writes go through one persistent append handle per store (opened
+    lazily on the first ``put``, closed by :meth:`close` or the context
+    manager) instead of reopening the file per record, and each record
+    is written as a single unbuffered ``O_APPEND`` write of one complete
+    line — concurrent writers from multi-process runs can interleave
+    *records* but never partial lines.
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
@@ -45,6 +52,7 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self._records: dict[str, dict] = {}
+        self._handle = None
         self._load()
 
     def _load(self) -> None:
@@ -85,8 +93,27 @@ class ResultStore:
             "request": request.canonical(),
             "result": result_to_record(result),
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle = self._handle
+        if handle is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            # Unbuffered binary append: every write below hits the file
+            # as one atomic O_APPEND syscall (one complete JSONL line).
+            handle = self._handle = open(self.path, "ab", buffering=0)
+        handle.write(
+            (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        )
         self._records[scenario_hash] = record
         return scenario_hash
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Close the append handle (reopened lazily by the next put)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

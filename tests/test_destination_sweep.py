@@ -1,0 +1,190 @@
+"""Differential tests for the destination-major incremental engine.
+
+:class:`repro.core.routing.DestinationSweep` re-fixes only the dirty
+region per attacker and restores snapshots in between, so the tests here
+hold it *bit-identical* to two independent oracles on every observable:
+
+* the per-pair flat engine (``batch_happiness_counts`` with
+  ``destination_major=False`` and ``compute_routing_outcome``), and
+* the seed reference engine (:mod:`repro.core.refimpl`), kept verbatim
+  from the pre-rewrite repository.
+
+Instances: >= 10 seeded random topologies x all rank models (baseline +
+three security placements, plus LP2 variants) x with/without the
+Appendix J IXP augmentation, attacker sets that include every provider,
+peer and customer of the destination (the adjacent edge cases where the
+bogus route competes hardest), and repeated/interleaved attackers to
+prove the between-attacker restore leaks nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BASELINE,
+    Deployment,
+    DestinationSweep,
+    RoutingContext,
+    SECURITY_MODELS,
+    batch_happiness_counts,
+    compute_routing_outcome,
+    lp2_variant,
+)
+from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+from repro.topology import TopologyParams, generate_topology
+from repro.topology.ixp import augment_with_ixp_peering
+
+SEEDS = list(range(12))  # >= 10 topologies, all distinct
+ALL_MODELS = (BASELINE,) + SECURITY_MODELS
+LP2_MODELS = tuple(lp2_variant(m) for m in ALL_MODELS)
+
+
+def make_instance(seed: int, ixp: bool, n: int = 52):
+    """(graph, destination, attackers, deployment) from one seed.
+
+    The attacker set always contains every neighbor of the destination
+    (providers, peers, customers) so the adjacent edge cases — including
+    attacker == provider-of-destination — are exercised on every
+    topology, plus a sample of remote attackers.
+    """
+    topo = generate_topology(TopologyParams(n=n, seed=seed))
+    graph = topo.graph
+    if ixp:
+        graph = augment_with_ixp_peering(graph, topo.ixp_members).graph
+    rnd = random.Random(seed * 1009 + 13)
+    asns = graph.asns
+    destination = rnd.choice(asns)
+    adjacent = sorted(graph.neighbors(destination))
+    remote = [a for a in asns if a != destination and a not in adjacent]
+    attackers = adjacent + rnd.sample(remote, min(8, len(remote)))
+    members = rnd.sample(asns, rnd.randint(0, len(asns) // 2))
+    deployment = Deployment.of(members)
+    if seed % 2:
+        deployment = deployment.with_simplex_stubs(graph)
+    return graph, destination, attackers, deployment
+
+
+@pytest.mark.parametrize("ixp", [False, True], ids=["base", "ixp"])
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sweep_counts_match_per_pair_engine(seed, ixp):
+    graph, destination, attackers, deployment = make_instance(seed, ixp)
+    ctx = RoutingContext(graph)
+    pairs = [(m, destination) for m in attackers]
+    for model in ALL_MODELS + LP2_MODELS:
+        dest_major = batch_happiness_counts(
+            ctx, pairs, deployment, model, destination_major=True
+        )
+        per_pair = batch_happiness_counts(
+            ctx, pairs, deployment, model, destination_major=False
+        )
+        assert dest_major == per_pair, (model.label, destination)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_sweep_counts_match_refimpl(seed):
+    graph, destination, attackers, deployment = make_instance(seed, ixp=False)
+    ctx = RoutingContext(graph)
+    ref_ctx = RefRoutingContext(graph)
+    for model in ALL_MODELS:
+        sweep = DestinationSweep(ctx, destination, deployment, model)
+        for m in attackers:
+            lo, up, sources = sweep.happiness_counts(m)
+            ref = ref_compute_routing_outcome(
+                ref_ctx, destination, attacker=m, deployment=deployment, model=model
+            )
+            assert (lo, up) == ref.count_happy(), (model.label, m)
+            assert sources == ref.num_sources, (model.label, m)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+def test_sweep_outcomes_bit_identical(seed):
+    """Full RouteInfo records — not just counts — match both oracles."""
+    graph, destination, attackers, deployment = make_instance(seed, ixp=False)
+    ctx = RoutingContext(graph)
+    ref_ctx = RefRoutingContext(graph)
+    providers = sorted(graph.providers(destination))
+    sample = providers + attackers[len(providers) : len(providers) + 3]
+    for model in ALL_MODELS:
+        sweep = DestinationSweep(ctx, destination, deployment, model)
+        for m in sample:
+            incremental = sweep.outcome(m)
+            direct = compute_routing_outcome(
+                graph, destination, attacker=m, deployment=deployment, model=model
+            )
+            ref = ref_compute_routing_outcome(
+                ref_ctx, destination, attacker=m, deployment=deployment, model=model
+            )
+            assert dict(incremental.routes) == dict(direct.routes), (model.label, m)
+            assert dict(incremental.routes) == ref.routes, (model.label, m)
+            assert incremental.count_happy() == direct.count_happy()
+            assert incremental.count_attacked() == direct.count_attacked()
+            assert incremental.count_secure_sources() == direct.count_secure_sources()
+            for asn in graph.asns:
+                assert incremental.concrete_path(asn) == direct.concrete_path(asn)
+
+
+def test_restore_is_leak_free_across_attackers():
+    """Evaluating A, then B, then A again reproduces A exactly, and the
+    baseline outcome is unchanged afterwards."""
+    graph, destination, attackers, deployment = make_instance(3, ixp=False)
+    model = SECURITY_MODELS[1]
+    ctx = RoutingContext(graph)
+    sweep = DestinationSweep(ctx, destination, deployment, model)
+    baseline_before = dict(sweep.baseline_outcome().routes)
+    a, b = attackers[0], attackers[-1]
+    first = sweep.happiness_counts(a)
+    interleaved = [sweep.happiness_counts(m) for m in (b, a, b, a)]
+    assert interleaved[1] == first
+    assert interleaved[3] == first
+    assert dict(sweep.baseline_outcome().routes) == baseline_before
+
+
+def test_sweep_resyncs_after_foreign_scratch_use():
+    """Another computation on the same context between deltas must not
+    corrupt the sweep (it resynchronizes from its snapshot)."""
+    graph, destination, attackers, deployment = make_instance(5, ixp=False)
+    model = SECURITY_MODELS[0]
+    ctx = RoutingContext(graph)
+    sweep = DestinationSweep(ctx, destination, deployment, model)
+    a = attackers[0]
+    want = sweep.happiness_counts(a)
+    # Trash the scratch buffers with unrelated pairs on the same context.
+    other_dest = attackers[-1]
+    compute_routing_outcome(ctx, other_dest, attacker=destination, model=model)
+    assert sweep.happiness_counts(a) == want
+
+
+def test_mixed_destination_batch_with_normal_conditions():
+    """Destination-major batching handles interleaved destinations and
+    attacker=None rows, in input order, identically to per-pair."""
+    graph, d1, attackers, deployment = make_instance(7, ixp=False)
+    rnd = random.Random(99)
+    others = [a for a in graph.asns if a != d1]
+    d2 = rnd.choice(others)
+    pairs = [
+        (attackers[0], d1),
+        (None, d2),
+        ([a for a in others if a != d2][0], d2),
+        (attackers[1], d1),
+        (None, d1),
+    ]
+    for model in ALL_MODELS:
+        dest_major = batch_happiness_counts(
+            graph, pairs, deployment, model, destination_major=True
+        )
+        per_pair = batch_happiness_counts(
+            graph, pairs, deployment, model, destination_major=False
+        )
+        assert dest_major == per_pair, model.label
+
+
+def test_sweep_rejects_bad_attackers():
+    graph, destination, _attackers, deployment = make_instance(1, ixp=False)
+    sweep = DestinationSweep(graph, destination, deployment, BASELINE)
+    with pytest.raises(ValueError):
+        sweep.happiness_counts(destination)
+    with pytest.raises(ValueError):
+        sweep.happiness_counts(-42)

@@ -1,0 +1,98 @@
+"""Unit tests for the destination-group scheduler of the experiment
+runner: grouping, largest-first bin-packing, and the order-preserving
+scatter/gather of ``ExperimentContext.metric``."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import SECURITY_SECOND, Deployment
+from repro.experiments import make_context
+from repro.experiments.runner import _destination_groups, _pack_groups
+
+
+class TestDestinationGroups:
+    def test_groups_by_destination_preserving_order(self):
+        pairs = [(1, 9), (2, 8), (3, 9), (4, 7), (5, 8), (6, 9)]
+        groups = _destination_groups(pairs)
+        assert groups == [[0, 2, 5], [1, 4], [3]]
+
+    def test_empty(self):
+        assert _destination_groups([]) == []
+
+
+class TestPackGroups:
+    def test_skewed_groups_do_not_starve_the_pool(self):
+        """One giant destination group must not serialize the sweep: it
+        is split at max_unit and spread over the bins."""
+        groups = [list(range(100))] + [[100 + i] for i in range(12)]
+        total = sum(len(g) for g in groups)
+        slots = 4
+        max_unit = -(-total // slots)  # ceil: one bin's fair share
+        bins = _pack_groups(groups, slots, max_unit)
+        assert sorted(i for b in bins for i in b) == list(range(total))
+        loads = [len(b) for b in bins]
+        # LPT guarantee: max load within 4/3 of the ideal share plus one
+        # shard; here just assert no bin hoards over half the work.
+        assert max(loads) <= max_unit + max_unit // 3
+        assert len(bins) <= slots
+
+    def test_largest_first_balances_unsplittable_groups(self):
+        sizes = [7, 5, 5, 4, 3, 3, 2, 1]
+        base = 0
+        groups = []
+        for s in sizes:
+            groups.append(list(range(base, base + s)))
+            base += s
+        bins = _pack_groups(groups, 3)
+        loads = sorted(len(b) for b in bins)
+        # 30 items over 3 bins: greedy largest-first lands 10/10/10.
+        assert loads == [10, 10, 10]
+        assert sorted(i for b in bins for i in b) == list(range(base))
+
+    def test_groups_stay_whole_below_max_unit(self):
+        groups = [[0, 1, 2], [3, 4], [5]]
+        bins = _pack_groups(groups, 2, max_unit=5)
+        for group in groups:
+            owners = {id(b) for b in bins if set(group) <= set(b)}
+            assert len(owners) == 1, f"group {group} split across bins"
+
+    def test_deterministic(self):
+        groups = [[i * 10 + j for j in range(i + 1)] for i in range(7)]
+        assert _pack_groups(groups, 3) == _pack_groups(list(groups), 3)
+
+    def test_single_slot_gets_everything(self):
+        groups = [[0, 1], [2], [3, 4, 5]]
+        bins = _pack_groups(groups, 1)
+        assert len(bins) == 1
+        assert sorted(bins[0]) == [0, 1, 2, 3, 4, 5]
+
+
+class TestMetricScheduling:
+    @pytest.fixture(scope="class")
+    def ectx(self):
+        with make_context(scale="tiny", seed=2013) as ectx:
+            yield ectx
+
+    def test_parallel_matches_serial_bit_for_bit(self, ectx):
+        """Group-aware parallel scheduling reassembles results in input
+        pair order, so the fork pool reproduces serial evaluation."""
+        rnd = random.Random(5)
+        asns = ectx.graph.asns
+        dests = rnd.sample(asns, 3)
+        pairs = []
+        for d in dests:  # deliberately skewed group sizes
+            count = {dests[0]: 17, dests[1]: 4, dests[2]: 1}[d]
+            pairs += [(m, d) for m in rnd.sample([a for a in asns if a != d], count)]
+        rnd.shuffle(pairs)
+        deployment = Deployment.of(rnd.sample(asns, 40))
+        serial = ectx.metric(pairs, deployment, SECURITY_SECOND)
+        with make_context(scale="tiny", seed=2013, processes=3) as pectx:
+            parallel = pectx.metric(pairs, deployment, SECURITY_SECOND)
+        assert parallel.per_pair == serial.per_pair
+        assert parallel.value == serial.value
+        assert [
+            (r.attacker, r.destination) for r in serial.per_pair
+        ] == pairs  # input order preserved

@@ -41,7 +41,10 @@ class TestEvalRequest:
     def test_canonicalization_sorts_and_dedupes(self, ectx):
         a, b, c = ectx.graph.asns[:3]
         req = _request(ectx, [(c, a), (a, b), (c, a)])
-        assert req.pairs == tuple(sorted({(a, b), (c, a)}))
+        # Destination-grouped canonical order: sorted by (d, m).
+        assert req.pairs == tuple(
+            sorted({(a, b), (c, a)}, key=lambda p: (p[1], p[0]))
+        )
 
     def test_equal_scenarios_hash_equal(self, ectx):
         a, b, c = ectx.graph.asns[:3]
@@ -149,6 +152,37 @@ class TestStoreRoundTrip:
         store = ResultStore(tmp_path / "cache")
         assert store.get("no-such-scenario") is None
         assert "no-such-scenario" not in store
+
+    def test_put_reuses_one_append_handle(self, ectx, tmp_path):
+        """Repeated puts write through a single persistent handle, one
+        complete JSONL line per record."""
+        req, result = self._evaluated(ectx)
+        req2 = request_for(
+            ectx, list(req.pairs), Deployment.empty(), SECURITY_SECOND
+        )
+        with ResultStore(tmp_path / "cache") as store:
+            assert store._handle is None  # opened lazily
+            store.put(req, result)
+            handle = store._handle
+            assert handle is not None
+            store.put(req2, result)
+            assert store._handle is handle  # not reopened per put
+            lines = store.path.read_text(encoding="utf-8").splitlines()
+            assert len(lines) == 2
+            for line in lines:
+                record = json.loads(line)  # every line is complete JSON
+                assert {"hash", "request", "result"} <= record.keys()
+        assert store._handle is None  # context manager closed it
+
+    def test_put_after_close_reopens(self, ectx, tmp_path):
+        req, result = self._evaluated(ectx)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        store.close()
+        store.put(req, result)  # lazily reopens in append mode
+        store.close()
+        assert len(store.path.read_text(encoding="utf-8").splitlines()) == 2
+        assert len(ResultStore(tmp_path / "cache")) == 1  # same hash
 
 
 class TestScheduler:
