@@ -2,11 +2,26 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-micro golden
+.PHONY: test bench bench-check bench-micro golden docs doctest
 
 ## tier-1 test suite (the CI gate)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## the docs gate: doctests for the documented public API + internal
+## markdown link check (also run inside tier-1 via tests/test_docs.py)
+docs: doctest
+	$(PYTHON) tools/check_links.py
+
+## keep the module list in sync with tests/test_docs.py DOCTEST_MODULES
+doctest:
+	$(PYTHON) -m pytest --doctest-modules -q \
+		src/repro/core/__init__.py \
+		src/repro/core/attacks.py \
+		src/repro/core/metrics.py \
+		src/repro/core/routing.py \
+		src/repro/experiments/scenarios.py \
+		src/repro/experiments/store.py
 
 ## perf trajectories: BENCH_routing.json (fails below the recorded
 ## floors) and BENCH_pipeline.json (end-to-end sweep, cold vs warm

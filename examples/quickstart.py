@@ -7,7 +7,9 @@ Walks the core API end to end:
    serial-2 file with ``repro.topology.load_serial2``);
 2. classify the Table 1 tiers and pick a partial S*BGP deployment;
 3. run the "m d" attack of Section 3.1 under each security model;
-4. compare the metric against the origin-authentication baseline.
+4. compare the metric against the origin-authentication baseline;
+5. swap in a different attacker strategy (threat model) — see
+   ``examples/attack_strategies.py`` for the full comparison.
 
 Run:  python examples/quickstart.py
 """
@@ -66,10 +68,22 @@ def main() -> None:
     for model in core.SECURITY_MODELS:
         result = core.security_metric(ctx, pairs, deployment, model)
         print(f"H(S) {model.label:14s}: {result.value}")
+
+    # 5. The same question under a different threat model. ---------------
+    # Every metric/routing entry point takes `attack=`; the default is
+    # the paper's one-hop hijack.  A forged-origin stealth hijack keeps
+    # the victim as claimed origin and mimics its security attributes,
+    # so validation-based rankings stop helping:
+    stealth = core.security_metric(
+        ctx, pairs, deployment, core.SECURITY_FIRST, attack=core.FORGED_ORIGIN
+    )
+    print(f"H(S) security_1st vs forged-origin stealth hijack: {stealth.value}")
     print(
         "\nThe juice-worth-the-squeeze question is the gap between those"
         "\nnumbers and the baseline — run `python -m repro.experiments"
-        " write-md` for the full reproduction."
+        " write-md` for the full reproduction, and"
+        "\n`python -m repro.experiments run attacks` for the threat-model"
+        " robustness curves."
     )
 
 

@@ -30,6 +30,12 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..core.attacks import (
+    DEFAULT_ATTACK,
+    AttackStrategy,
+    AttackerBaseline,
+    ResolvedAttack,
+)
 from ..core.deployment import Deployment
 from ..core.rank import BASELINE
 from ..topology.graph import ASGraph
@@ -64,8 +70,14 @@ class BGPSimulator:
         destination: the AS originating the prefix.
         deployment: the secure set ``S``.
         policies: per-AS policy assignment; defaults to uniform baseline.
-        attacker: optional AS announcing the bogus path ``"m d"`` via
-            legacy BGP to all neighbors (Section 3.1).
+        attacker: optional attacking AS; by default it announces the
+            bogus path ``"m d"`` via legacy BGP to all neighbors
+            (Section 3.1).
+        attack: the attacker strategy (:mod:`repro.core.attacks`)
+            shaping the claimed path length, its security attributes
+            and the export scope; strategies that need the attacker's
+            legitimate route (e.g. the honest announcement) converge a
+            normal-conditions probe first.
         secure_hysteresis: the paper's §8 mitigation proposal — an AS
             that currently uses a *secure* route refuses to replace it
             with an insecure route while any secure candidate remains,
@@ -81,6 +93,7 @@ class BGPSimulator:
         deployment: Deployment | None = None,
         policies: PolicyAssignment | None = None,
         attacker: int | None = None,
+        attack: AttackStrategy = DEFAULT_ATTACK,
         secure_hysteresis: bool = False,
     ) -> None:
         if destination not in graph:
@@ -92,6 +105,9 @@ class BGPSimulator:
         self.graph = graph
         self.destination = destination
         self.attacker = attacker
+        self.attack = attack
+        #: resolved attack parameters once the attacker is announcing.
+        self._attack_resolved: ResolvedAttack | None = None
         self.deployment = deployment or Deployment.empty()
         self.policies = policies or PolicyAssignment(default=BASELINE)
         self.secure_hysteresis = secure_hysteresis
@@ -153,10 +169,11 @@ class BGPSimulator:
         """Turn ``attacker`` malicious *after* normal convergence.
 
         Models the attack as a dynamic event: the AS abandons honest
-        participation and announces the bogus path ``"m d"`` to all its
-        neighbors, replacing whatever it exported before.  Starting the
-        attack from the converged state (rather than from scratch) is
-        what makes history-dependent policies — §8's hysteresis — behave
+        participation and announces whatever its strategy claims
+        (default: the bogus path ``"m d"`` to all its neighbors),
+        replacing whatever it exported before.  Starting the attack
+        from the converged state (rather than from scratch) is what
+        makes history-dependent policies — §8's hysteresis — behave
         meaningfully.
         """
         if self.attacker is not None:
@@ -167,13 +184,53 @@ class BGPSimulator:
             raise ValueError(f"attacker AS {attacker} not in graph")
         if not self._bootstrapped:
             self._bootstrap()
+        baseline = None
+        if self.attack.needs_baseline:
+            # The strategy re-uses the attacker's legitimate converged
+            # route, so drain any pending reconvergence first.
+            self.run()
+            baseline = self._attacker_baseline(attacker)
+        resolved = self.attack.resolve(
+            dest_signed=self.destination in self._signing, baseline=baseline
+        )
         self.attacker = attacker
+        self._attack_resolved = resolved
+        # A silent attacker (e.g. honest with no route) announces
+        # nothing; it had no exports to withdraw either.
         self.best[attacker] = (
-            attacker,
-            Announcement(path=(attacker, self.destination), signed=False),
+            (attacker, self._claimed_announcement(resolved))
+            if resolved.active
+            else None
         )
         for neighbor in self._neighbors[attacker]:
             self._push_update(attacker, neighbor)
+
+    def _attacker_baseline(self, attacker: int) -> AttackerBaseline:
+        """The attacker's converged normal-conditions record."""
+        chosen = self.best[attacker]
+        if chosen is None:
+            return AttackerBaseline(has_route=False)
+        ann = chosen[1]
+        return AttackerBaseline(
+            has_route=True,
+            length=ann.length,
+            wire_secure=ann.signed and attacker in self._signing,
+        )
+
+    def _claimed_announcement(self, resolved: ResolvedAttack) -> Announcement:
+        """The attacker's claimed announcement for a resolved strategy.
+
+        The claimed path keeps the victim as its origin and pads any
+        intermediate hops with synthetic ASNs (negative, so no real AS
+        ever loop-rejects the claim), matching the routing engines'
+        abstraction that only the claimed *length* and attributes are
+        observable.
+        """
+        fillers = tuple(range(-1, -resolved.length, -1))
+        return Announcement(
+            path=(self.attacker, *fillers, self.destination),
+            signed=resolved.wire,
+        )
 
     # ------------------------------------------------------------------
     # Simulation
@@ -206,7 +263,7 @@ class BGPSimulator:
         )
 
     def _bootstrap(self) -> None:
-        """Originate the legitimate prefix and (if any) the bogus one."""
+        """Originate the legitimate prefix and (if any) the claimed one."""
         self._bootstrapped = True
         dest_signed = self.destination in self._signing
         self.best[self.destination] = (
@@ -214,10 +271,28 @@ class BGPSimulator:
             Announcement(path=(self.destination,), signed=dest_signed),
         )
         if self.attacker is not None:
-            self.best[self.attacker] = (
-                self.attacker,
-                Announcement(path=(self.attacker, self.destination), signed=False),
-            )
+            baseline = None
+            if self.attack.needs_baseline:
+                # The strategy re-uses the attacker's legitimate route:
+                # converge a normal-conditions probe to obtain it (the
+                # stable state is unique, so starting the attack from
+                # scratch or from the converged state is equivalent).
+                probe = BGPSimulator(
+                    self.graph,
+                    self.destination,
+                    deployment=self.deployment,
+                    policies=self.policies,
+                    secure_hysteresis=self.secure_hysteresis,
+                )
+                probe.run()
+                baseline = probe._attacker_baseline(self.attacker)
+            resolved = self.attack.resolve(dest_signed=dest_signed, baseline=baseline)
+            self._attack_resolved = resolved
+            if resolved.active:
+                self.best[self.attacker] = (
+                    self.attacker,
+                    self._claimed_announcement(resolved),
+                )
         for root in self._roots():
             for neighbor in self._neighbors[root]:
                 self._push_update(root, neighbor)
@@ -287,7 +362,14 @@ class BGPSimulator:
             return None
         next_hop, ann = chosen
         if sender in self._roots():
-            return ann  # origins announce to everyone
+            if (
+                sender == self.attacker
+                and self._attack_resolved is not None
+                and not self._attack_resolved.export_all
+                and self._rel[(sender, receiver)] is not Relationship.CUSTOMER
+            ):
+                return None  # outside the attacker's export scope
+            return ann  # origins announce to everyone (within scope)
         route_class = ROUTE_CLASS_OF_NEXT_HOP[self._rel[(sender, next_hop)]]
         receiver_rel = self._rel[(sender, receiver)]
         if not exports_to(route_class, receiver_rel):

@@ -1,0 +1,317 @@
+"""Pluggable attacker strategies: *how* the bogus announcement enters routing.
+
+The paper evaluates ``H_{M,D}(S)`` under one canonical threat model: the
+attacker ``m`` announces the bogus one-hop path ``"m d"`` via legacy BGP
+to all of its neighbors (Section 3.1).  Follow-up work shows that the
+*ranking of deployment strategies* is sensitive to this choice — it can
+flip under different attack shapes ("Ain't How You Deploy",
+arXiv:2408.15970) and under forged-origin hijacks that carry
+valid-looking security attributes and therefore survive ROV-era
+filtering (arXiv:2606.23071).  This module makes the attack shape a
+first-class, pluggable input instead of a constant baked into the
+routing engines.
+
+An :class:`AttackStrategy` pins four knobs of the attacker's
+announcement, expressed in engine terms by a :class:`ResolvedAttack`:
+
+* ``length`` — the AS-path length the attacker *claims* (its neighbors
+  rank the route at ``length + 1``);
+* ``wire`` — whether the announcement carries valid-looking security
+  attributes, i.e. whether S*BGP-ranking receivers perceive it as
+  secure (normal propagation rules still apply downstream: a
+  non-signing AS re-announces without attributes);
+* ``export_all`` — whether every neighbor hears it (the classic
+  attraction attack) or only customers (a stealthier export scope);
+* ``active`` — whether the attacker announces anything at all (an
+  honest attacker with no route to the victim stays silent).
+
+Some strategies depend on the attacker's *own* routing state under
+normal conditions — e.g. the honest announcement re-uses the attacker's
+legitimate route — so :meth:`AttackStrategy.resolve` optionally receives
+an :class:`AttackerBaseline` describing that state (engines supply it
+when :attr:`AttackStrategy.needs_baseline` is set).
+
+Every strategy has a canonical ``token`` used by the scenario plane
+(:mod:`repro.experiments.scenarios`) to fold the threat model into the
+content-addressed scenario hash, and by the CLI's ``--attack`` flag.
+
+Examples:
+    The paper-default hijack claims a direct customer link to the
+    victim and is never signed:
+
+    >>> ONE_HOP_HIJACK.resolve(dest_signed=True)
+    ResolvedAttack(length=1, wire=False, export_all=True, active=True)
+
+    The honest strategy re-announces the attacker's real route (here a
+    signed 3-hop route) to *everyone* — traffic attraction without
+    lying:
+
+    >>> HONEST.resolve(
+    ...     dest_signed=False,
+    ...     baseline=AttackerBaseline(has_route=True, length=3, wire_secure=True),
+    ... )
+    ResolvedAttack(length=3, wire=True, export_all=True, active=True)
+
+    An honest attacker with no route stays silent:
+
+    >>> HONEST.resolve(dest_signed=False, baseline=NO_BASELINE_ROUTE).active
+    False
+
+    The forged-origin stealth hijack mimics the victim's security
+    posture — its announcement looks exactly as valid as the real one:
+
+    >>> FORGED_ORIGIN.resolve(dest_signed=True).wire
+    True
+    >>> FORGED_ORIGIN.resolve(dest_signed=False) == ONE_HOP_HIJACK.resolve(
+    ...     dest_signed=False
+    ... )
+    True
+
+    Tokens round-trip through the registry, including the parameterized
+    path-padding family:
+
+    >>> strategy_from_token("khop4")
+    PathLengthHijack(k=4)
+    >>> strategy_from_token("khop4").token
+    'khop4'
+    >>> [s.token for s in SHIPPED_STRATEGIES]
+    ['hijack', 'honest', 'khop3', 'forged_origin']
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AttackerBaseline:
+    """The attacker's own routing record under normal conditions.
+
+    Attributes:
+        has_route: False when the attacker cannot reach the victim at
+            all under normal conditions (disconnected inputs).
+        length: AS-path length of the attacker's legitimate best route
+            (meaningless when ``has_route`` is False).
+        wire_secure: whether the announcement the attacker would
+            legitimately propagate is fully signed — i.e. its own best
+            route arrived signed *and* the attacker participates in
+            S*BGP signing.
+    """
+
+    has_route: bool
+    length: int = 0
+    wire_secure: bool = False
+
+
+#: Shared "the attacker has no route" baseline.
+NO_BASELINE_ROUTE = AttackerBaseline(has_route=False)
+
+
+@dataclass(frozen=True)
+class ResolvedAttack:
+    """Concrete per-``(m, d)`` attack parameters, in engine terms.
+
+    This is what the routing engines actually consume: the attacker
+    becomes a root claiming a path of ``length`` hops with (or without)
+    valid-looking security attributes, heard by all neighbors or only
+    by customers.  ``active=False`` means the attacker announces
+    nothing — the stable state is the attacker-free one, with the
+    attacker still excluded from the source population.
+    """
+
+    length: int
+    wire: bool
+    export_all: bool
+    active: bool = True
+
+    def __post_init__(self) -> None:
+        if self.active and self.length < 1:
+            raise ValueError(
+                f"an active attack must claim a path of length >= 1, "
+                f"got {self.length}"
+            )
+
+
+#: The paper's canonical resolution: unsigned one-hop claim, heard by all.
+DEFAULT_RESOLVED = ResolvedAttack(length=1, wire=False, export_all=True)
+
+#: Resolution of a silent (inactive) attacker.
+SILENT = ResolvedAttack(length=0, wire=False, export_all=True, active=False)
+
+
+class AttackStrategy(ABC):
+    """How an attacker shapes its announcement for one ``(m, d)`` attack.
+
+    Subclasses are small frozen dataclasses so strategies are hashable,
+    picklable (they ride along with fork-pool tasks) and comparable.
+    The engines call :meth:`resolve` once per ``(m, d)`` pair — with the
+    attacker's normal-conditions record when :attr:`needs_baseline` is
+    set — and then run the ordinary fixing pass with the attacker as a
+    root parameterized by the returned :class:`ResolvedAttack`.
+    """
+
+    #: Canonical identity token; part of every scenario hash.
+    token: str = ""
+    #: True if :meth:`resolve` needs the attacker's normal-conditions
+    #: record (engines then run/consult an attacker-free pass first).
+    needs_baseline: bool = False
+
+    @abstractmethod
+    def resolve(
+        self, dest_signed: bool, baseline: AttackerBaseline | None = None
+    ) -> ResolvedAttack:
+        """Resolve the strategy for one pair.
+
+        Args:
+            dest_signed: whether the victim destination participates in
+                S*BGP signing (its legitimate announcement is signed).
+            baseline: the attacker's own normal-conditions record; only
+                supplied (and only required) when :attr:`needs_baseline`
+                is True.
+        """
+
+
+@dataclass(frozen=True)
+class OneHopHijack(AttackStrategy):
+    """The paper's Section 3.1 attack: announce ``"m d"`` via legacy BGP.
+
+    The attacker claims a direct link to the victim — a path one hop
+    longer than the truth — with no security attributes, to every
+    neighbor.  This is the default threat model everywhere.
+    """
+
+    token = "hijack"
+
+    def resolve(
+        self, dest_signed: bool, baseline: AttackerBaseline | None = None
+    ) -> ResolvedAttack:
+        return DEFAULT_RESOLVED
+
+
+@dataclass(frozen=True)
+class HonestAnnouncement(AttackStrategy):
+    """Traffic attraction without lying: export the real route to everyone.
+
+    The attacker keeps its legitimate best route to the victim and
+    announces it to *all* neighbors, violating only the export rule
+    ``Ex`` (providers and peers hear a route they should never have
+    seen, and rank it as a customer route).  The claimed length and the
+    security attributes are genuine — a signed honest announcement
+    stays attractive even to fully-deployed S*BGP neighbors, which is
+    exactly why attraction attacks survive security-first rankings.
+    With no route to the victim the attacker has nothing to announce
+    and stays silent.
+    """
+
+    token = "honest"
+    needs_baseline = True
+
+    def resolve(
+        self, dest_signed: bool, baseline: AttackerBaseline | None = None
+    ) -> ResolvedAttack:
+        if baseline is None:
+            raise ValueError("the honest strategy requires the attacker baseline")
+        if not baseline.has_route:
+            return SILENT
+        return ResolvedAttack(
+            length=baseline.length,
+            wire=baseline.wire_secure,
+            export_all=True,
+        )
+
+
+@dataclass(frozen=True)
+class PathLengthHijack(AttackStrategy):
+    """A ``k``-hop claimed path: padding (k > 1) or the classic lie (k = 1).
+
+    The attacker announces a fabricated path of ``k`` hops ending at the
+    victim, unsigned, to every neighbor.  ``k = 1`` is behaviorally
+    identical to :class:`OneHopHijack` (but hashes as a distinct
+    scenario); larger ``k`` models path-padding attacks that trade
+    attraction power for stealth against length-anomaly monitors.
+    """
+
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"claimed path length must be >= 1, got {self.k}")
+
+    @property
+    def token(self) -> str:  # type: ignore[override]
+        return f"khop{self.k}"
+
+    def resolve(
+        self, dest_signed: bool, baseline: AttackerBaseline | None = None
+    ) -> ResolvedAttack:
+        return ResolvedAttack(length=self.k, wire=False, export_all=True)
+
+
+@dataclass(frozen=True)
+class ForgedOriginHijack(AttackStrategy):
+    """Forged-origin stealth hijack: the lie mimics the victim's security.
+
+    The attacker announces the one-hop path ``"m d"`` keeping the
+    victim as the claimed origin *and* dressing the announcement in
+    security attributes indistinguishable from the victim's own
+    (origin-validation filtering passes: the origin is genuinely
+    authorized).  In engine terms the bogus announcement leaves the
+    attacker exactly as wire-secure as the victim's legitimate one —
+    if the victim signs, ranking receivers see a valid-looking secure
+    route; if the victim does not, this degenerates to the classic
+    hijack.  Models the ROV-era stealth hijacks of arXiv:2606.23071.
+    """
+
+    token = "forged_origin"
+
+    def resolve(
+        self, dest_signed: bool, baseline: AttackerBaseline | None = None
+    ) -> ResolvedAttack:
+        return ResolvedAttack(length=1, wire=bool(dest_signed), export_all=True)
+
+
+#: Ready-made strategy instances.
+ONE_HOP_HIJACK = OneHopHijack()
+HONEST = HonestAnnouncement()
+FORGED_ORIGIN = ForgedOriginHijack()
+
+#: The default threat model everywhere (the paper's Section 3.1 attack).
+DEFAULT_ATTACK = ONE_HOP_HIJACK
+DEFAULT_ATTACK_TOKEN = DEFAULT_ATTACK.token
+
+#: The strategies shipped with the attacks experiment, in display order
+#: (``khop3`` represents the path-padding family).
+SHIPPED_STRATEGIES: tuple[AttackStrategy, ...] = (
+    ONE_HOP_HIJACK,
+    HONEST,
+    PathLengthHijack(3),
+    FORGED_ORIGIN,
+)
+
+_FIXED_STRATEGIES: dict[str, AttackStrategy] = {
+    ONE_HOP_HIJACK.token: ONE_HOP_HIJACK,
+    HONEST.token: HONEST,
+    FORGED_ORIGIN.token: FORGED_ORIGIN,
+}
+
+
+def strategy_from_token(token: str) -> AttackStrategy:
+    """Parse a canonical strategy token back into a strategy.
+
+    Accepts the fixed tokens (``hijack``, ``honest``, ``forged_origin``)
+    plus the parameterized ``khop<k>`` family.
+    """
+    fixed = _FIXED_STRATEGIES.get(token)
+    if fixed is not None:
+        return fixed
+    if token.startswith("khop"):
+        try:
+            k = int(token[4:])
+        except ValueError:
+            raise ValueError(f"unparseable attack token {token!r}") from None
+        return PathLengthHijack(k)
+    raise ValueError(
+        f"unknown attack token {token!r}; expected one of "
+        f"{sorted(_FIXED_STRATEGIES)} or 'khop<k>'"
+    )

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..topology.graph import ASGraph
+from .attacks import DEFAULT_ATTACK, AttackStrategy
 from .deployment import Deployment
 from .rank import RankModel
 from .routing import (
@@ -136,10 +137,12 @@ def attack_happiness(
     destination: int,
     deployment: Deployment,
     model: RankModel,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> AttackHappiness:
     """Happy-source counts when ``attacker`` attacks ``destination``."""
     outcome = compute_routing_outcome(
-        topology, destination, attacker=attacker, deployment=deployment, model=model
+        topology, destination, attacker=attacker, deployment=deployment,
+        model=model, attack=attack,
     )
     lower, upper = outcome.count_happy()
     return AttackHappiness(
@@ -157,6 +160,7 @@ def security_metric(
     deployment: Deployment,
     model: RankModel,
     mapper: Mapper = map,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> MetricResult:
     """``H_{M,D}(S)`` averaged over explicit ``(attacker, destination)`` pairs.
 
@@ -166,10 +170,30 @@ def security_metric(
         deployment: the secure set ``S``.
         model: routing-policy model.
         mapper: map-like callable for parallel execution.
+        attack: the attacker strategy (:mod:`repro.core.attacks`);
+            defaults to the paper's one-hop hijack.
 
     Returns:
         A :class:`MetricResult`; its ``value`` interval is the mean of
         the per-pair happy fractions.
+
+    Example:
+        Three providers in a row, the destination ``3`` a stub of ``2``,
+        the attacker ``4`` a stub of ``1``; with nobody secured every
+        source falls for the one-hop lie except the attacker's provider,
+        which sits one hop from both roots (a knife-edge tiebreak):
+
+        >>> from repro.topology.graph import ASGraph
+        >>> from repro.core.rank import BASELINE
+        >>> from repro.core.deployment import Deployment
+        >>> g = ASGraph()
+        >>> for customer, provider in [(2, 1), (3, 2), (4, 1)]:
+        ...     g.add_customer_provider(customer, provider)
+        >>> result = security_metric(
+        ...     g, [(4, 3)], Deployment.empty(), BASELINE
+        ... )
+        >>> print(result.value)
+        [0.5000, 1.0000]
     """
     ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
     if mapper is map:
@@ -178,12 +202,12 @@ def security_metric(
         # re-fix per attacker — see repro.core.routing.DestinationSweep)
         # over the context's reusable scratch buffers, no outcome
         # materialization.
-        results = tuple(batch_happiness(ctx, pairs, deployment, model))
+        results = tuple(batch_happiness(ctx, pairs, deployment, model, attack=attack))
     else:
         results = tuple(
             mapper(
                 _happiness_task,
-                ((ctx, m, d, deployment, model) for (m, d) in pairs),
+                ((ctx, m, d, deployment, model, attack) for (m, d) in pairs),
             )
         )
     return MetricResult(value=_mean_interval(results), per_pair=results)
@@ -196,6 +220,7 @@ def batch_happiness(
     model: RankModel,
     *,
     destination_major: bool = True,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> list[AttackHappiness]:
     """Happy-source counts for many ``(m, d)`` pairs in one sweep.
 
@@ -211,7 +236,8 @@ def batch_happiness(
     """
     pairs = list(pairs)  # consumed twice below; accept one-shot iterables
     counts = batch_happiness_counts(
-        topology, pairs, deployment, model, destination_major=destination_major
+        topology, pairs, deployment, model,
+        destination_major=destination_major, attack=attack,
     )
     return [
         AttackHappiness(
@@ -226,8 +252,8 @@ def batch_happiness(
 
 
 def _happiness_task(args: tuple) -> AttackHappiness:
-    ctx, attacker, destination, deployment, model = args
-    return attack_happiness(ctx, attacker, destination, deployment, model)
+    ctx, attacker, destination, deployment, model, attack = args
+    return attack_happiness(ctx, attacker, destination, deployment, model, attack)
 
 
 def _mean_interval(results: Sequence[AttackHappiness]) -> Interval:
@@ -245,10 +271,13 @@ def metric_for_destination(
     deployment: Deployment,
     model: RankModel,
     mapper: Mapper = map,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> MetricResult:
     """``H_{M,d}(S)``: the metric restricted to one destination (§5.2.3)."""
     pairs = [(m, destination) for m in attackers if m != destination]
-    return security_metric(topology, pairs, deployment, model, mapper=mapper)
+    return security_metric(
+        topology, pairs, deployment, model, mapper=mapper, attack=attack
+    )
 
 
 def metric_improvement(
@@ -258,13 +287,16 @@ def metric_improvement(
     model: RankModel,
     baseline: MetricResult | None = None,
     mapper: Mapper = map,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> tuple[Interval, MetricResult, MetricResult]:
     """``H_{M,D}(S) − H_{M,D}(∅)``, the paper's headline quantity.
 
     The delta is computed *bound-wise* — lower(S) − lower(∅) and
     upper(S) − upper(∅) — matching the paper's Figures 7-12, which
     plot the increase of each bound rather than a conservative interval
-    difference.
+    difference.  Both sides are evaluated under the same attacker
+    strategy, so the delta isolates what the deployment buys against
+    that threat model.
 
     Returns:
         ``(delta, metric_with_S, metric_baseline)``.
@@ -272,7 +304,9 @@ def metric_improvement(
     ctx = topology if isinstance(topology, RoutingContext) else RoutingContext(topology)
     if baseline is None:
         baseline = security_metric(
-            ctx, pairs, Deployment.empty(), model, mapper=mapper
+            ctx, pairs, Deployment.empty(), model, mapper=mapper, attack=attack
         )
-    secured = security_metric(ctx, pairs, deployment, model, mapper=mapper)
+    secured = security_metric(
+        ctx, pairs, deployment, model, mapper=mapper, attack=attack
+    )
     return secured.value.bound_delta(baseline.value), secured, baseline

@@ -23,6 +23,7 @@ from typing import Iterator
 
 from ..topology.graph import ASGraph
 from ..topology.relationships import RouteClass
+from .attacks import DEFAULT_ATTACK, AttackStrategy, AttackerBaseline
 from .deployment import Deployment
 from .rank import BASELINE, RankKey, RankModel
 from .routing import Reach, RouteInfo
@@ -195,6 +196,7 @@ def ref_compute_routing_outcome(
     attacker: int | None = None,
     deployment: Deployment | None = None,
     model: RankModel = BASELINE,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> RefRoutingOutcome:
     """Compute the unique stable routing state (Theorem 2.1).
 
@@ -202,12 +204,14 @@ def ref_compute_routing_outcome(
         topology: the AS graph, or a prebuilt :class:`RefRoutingContext`
             (build one when calling repeatedly on the same graph).
         destination: the victim AS ``d`` originating the prefix.
-        attacker: the AS ``m`` announcing the bogus path ``"m d"`` via
-            legacy BGP to all its neighbors (Section 3.1); None for
-            normal conditions.
+        attacker: the attacking AS ``m``; None for normal conditions.
         deployment: the secure set ``S``; defaults to ``S = ∅``.
         model: the routing-policy model; defaults to the baseline
             (origin authentication only).
+        attack: the attacker strategy (:mod:`repro.core.attacks`);
+            defaults to the paper's Section 3.1 one-hop hijack — ``m``
+            announces the bogus path ``"m d"`` via legacy BGP to all
+            its neighbors.
 
     Returns:
         A :class:`RefRoutingOutcome`.
@@ -228,11 +232,30 @@ def ref_compute_routing_outcome(
     out_edges = context.out_edges
     key_of = model.key
 
+    dest_signed = destination in signing
+    resolved = None
+    if attacker is not None:
+        baseline = None
+        if attack.needs_baseline:
+            base = ref_compute_routing_outcome(
+                context, destination, None, deployment, model
+            )
+            base_info = base.routes.get(attacker)
+            baseline = (
+                AttackerBaseline(
+                    has_route=True,
+                    length=base_info.length,
+                    wire_secure=base_info.wire_secure,
+                )
+                if base_info is not None
+                else AttackerBaseline(has_route=False)
+            )
+        resolved = attack.resolve(dest_signed=dest_signed, baseline=baseline)
+
     routes: dict[int, RouteInfo] = {}
     candidates: dict[int, _Candidate] = {}
     heap: list[tuple[RankKey, int]] = []
 
-    dest_signed = destination in signing
     routes[destination] = RouteInfo(
         route_class=None,
         length=0,
@@ -245,22 +268,28 @@ def ref_compute_routing_outcome(
         endpoint=Reach.DEST,
     )
     if attacker is not None:
+        att_reach = Reach.ATTACKER if resolved.active else Reach.NONE
         routes[attacker] = RouteInfo(
             route_class=None,
-            length=1,  # the bogus announcement "m d" is one hop longer
+            length=resolved.length,  # the claimed path (default: "m d")
             key=None,
             next_hops=(),
-            reaches=Reach.ATTACKER,
+            reaches=att_reach,
             secure=False,
-            wire_secure=False,  # legacy BGP: recipients cannot validate it
+            # valid-looking attributes count as wire security for
+            # recipients; the default legacy-BGP lie carries none.
+            wire_secure=resolved.wire,
             choice=None,
-            endpoint=Reach.ATTACKER,
+            endpoint=att_reach,
         )
 
-    def relax_from(u: int, info: RouteInfo) -> None:
+    def relax_from(u: int, info: RouteInfo, export_all: bool | None = None) -> None:
         """Offer u's fixed route to every neighbor Ex allows."""
         is_origin = info.key is None
-        exports_everywhere = is_origin or info.route_class is RouteClass.CUSTOMER
+        if export_all is None:
+            exports_everywhere = is_origin or info.route_class is RouteClass.CUSTOMER
+        else:
+            exports_everywhere = export_all  # the attacker's export scope
         length = info.length + 1
         wire = info.wire_secure
         reaches = info.reaches
@@ -286,8 +315,8 @@ def ref_compute_routing_outcome(
                 cand.wire_in = cand.wire_in and wire
 
     relax_from(destination, routes[destination])
-    if attacker is not None:
-        relax_from(attacker, routes[attacker])
+    if attacker is not None and resolved.active:
+        relax_from(attacker, routes[attacker], export_all=resolved.export_all)
 
     while heap:
         key, v = heapq.heappop(heap)

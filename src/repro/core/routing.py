@@ -1,9 +1,13 @@
 """Partial-deployment S*BGP routing outcomes (Section 3, Appendix B).
 
 This module computes, for one destination ``d``, an optional attacker
-``m`` announcing the bogus path ``"m d"`` via legacy BGP (Section 3.1), a
-deployment ``S`` and a routing-policy model, the stable routing state
-that Theorem 2.1 guarantees to exist and be unique.
+``m``, a deployment ``S`` and a routing-policy model, the stable
+routing state that Theorem 2.1 guarantees to exist and be unique.  How
+the attacker's announcement enters the computation — its claimed path
+length, whether it carries valid-looking security attributes, which
+neighbors hear it — is a pluggable :class:`repro.core.attacks.AttackStrategy`;
+the default is the paper's Section 3.1 one-hop bogus path ``"m d"``
+announced via legacy BGP to everyone.
 
 Appendix B describes the computation as a family of staged breadth-first
 searches (FSCR / FCR / FSPeeR / FPeeR / FSPrvR / FPrvR, one ordering per
@@ -74,6 +78,13 @@ from ..topology.relationships import RouteClass
 #: rewrites that reproduce the golden fixtures bit-for-bit must NOT
 #: bump it.
 ENGINE_VERSION = 1
+from .attacks import (
+    DEFAULT_ATTACK,
+    DEFAULT_RESOLVED,
+    AttackStrategy,
+    AttackerBaseline,
+    ResolvedAttack,
+)
 from .deployment import Deployment
 from .rank import BASELINE, PACK_SHIFT, RankKey, RankModel
 
@@ -146,6 +157,22 @@ class RoutingContext:
     never mutates the graph; it also owns the scratch buffers of the
     fixing pass, which makes a single context not thread-safe (fork
     workers each get a copy-on-write clone, which is safe).
+
+    Example:
+        Build one context per graph and reuse it for every computation
+        on that graph — the adjacency indexing is paid once:
+
+        >>> from repro.topology.graph import ASGraph
+        >>> g = ASGraph()
+        >>> for customer, provider in [(2, 1), (3, 1), (4, 2)]:
+        ...     g.add_customer_provider(customer, provider)
+        >>> ctx = RoutingContext(g)
+        >>> ctx.n
+        4
+        >>> sorted(ctx.index_of)  # dense indices in sorted-ASN order
+        [1, 2, 3, 4]
+        >>> compute_routing_outcome(ctx, 4, attacker=3).count_happy()
+        (1, 2)
     """
 
     __slots__ = (
@@ -375,6 +402,35 @@ class RoutingContext:
             raise ValueError("attacker and destination must differ")
         return dest_i, att_i
 
+    def _resolve_attack(
+        self,
+        dest_i: int,
+        att_i: int,
+        signing: bytearray,
+        ranking: bytearray,
+        model: RankModel,
+        attack: AttackStrategy,
+    ) -> ResolvedAttack:
+        """Resolve ``attack`` for one pair (running the attacker-free
+        pass first when the strategy needs the attacker's baseline).
+
+        On the per-pair paths a ``needs_baseline`` strategy therefore
+        costs two full fixing passes per pair; the destination-major
+        path (the default everywhere) reads the baseline from the
+        sweep's snapshot instead, so per-pair stays the simple oracle.
+        """
+        if att_i < 0:
+            return DEFAULT_RESOLVED
+        baseline = None
+        if attack.needs_baseline:
+            self._run(dest_i, -1, signing, ranking, model)
+            baseline = AttackerBaseline(
+                has_route=bool(self._fixed[att_i]),
+                length=self._len[att_i],
+                wire_secure=bool(self._wire[att_i]),
+            )
+        return attack.resolve(dest_signed=bool(signing[dest_i]), baseline=baseline)
+
     def _run(
         self,
         dest_i: int,
@@ -382,9 +438,11 @@ class RoutingContext:
         signing: bytearray,
         ranking: bytearray,
         model: RankModel,
+        attack: ResolvedAttack = DEFAULT_RESOLVED,
     ) -> None:
         """Run one fixing pass over the scratch buffers (``att_i = -1``
-        for normal conditions).  Results live in the scratch arrays and
+        for normal conditions; ``attack`` parameterizes how the attacker
+        root announces).  Results live in the scratch arrays and
         :attr:`_last_counts` until the next run."""
         self._sweep_owner = None
         n = self.n
@@ -448,7 +506,8 @@ class RoutingContext:
                         wire_b[v] = 0
 
         # Roots: the destination originates the prefix; the attacker
-        # originates the bogus one-hop-longer "m d" via legacy BGP.
+        # originates its claimed path as the strategy resolved it (the
+        # paper default: the bogus one-hop-longer "m d" via legacy BGP).
         dest_signed = 1 if signing[dest_i] else 0
         fixed[dest_i] = 1
         len_l[dest_i] = 0
@@ -457,15 +516,24 @@ class RoutingContext:
         wire_b[dest_i] = dest_signed
         sec_b[dest_i] = dest_signed
         remaining = n - 1
+        att_active = attack.active
         if att_i >= 0:
             fixed[att_i] = 1
-            len_l[att_i] = 1
-            reach_b[att_i] = 2
-            endp_b[att_i] = 2
+            len_l[att_i] = attack.length
+            if att_active:
+                reach_b[att_i] = 2
+                endp_b[att_i] = 2
+            wire_b[att_i] = 1 if attack.wire else 0
             remaining -= 1
         relax(dest_i, True, 1, dest_signed, 1)
-        if att_i >= 0:
-            relax(att_i, True, 2, 0, 2)
+        if att_i >= 0 and att_active:
+            relax(
+                att_i,
+                attack.export_all,
+                attack.length + 1,
+                1 if attack.wire else 0,
+                2,
+            )
 
         happy_lo = happy_up = att_lo = att_up = secure_n = nfixed = 0
         while heap:
@@ -515,12 +583,16 @@ class RoutingContext:
         model: RankModel,
         dest_i: int,
         att_i: int,
+        attack: AttackStrategy = DEFAULT_ATTACK,
+        resolved: ResolvedAttack = DEFAULT_RESOLVED,
     ) -> "RoutingOutcome":
         return RoutingOutcome(
             destination=destination,
             attacker=attacker,
             deployment=deployment,
             model=model,
+            attack=attack,
+            _resolved=resolved,
             _ctx=self,
             _dest_i=dest_i,
             _att_i=att_i,
@@ -602,6 +674,8 @@ class RoutingOutcome:
         "attacker",
         "deployment",
         "model",
+        "attack",
+        "_resolved",
         "_ctx",
         "_dest_i",
         "_att_i",
@@ -625,6 +699,8 @@ class RoutingOutcome:
         deployment: Deployment,
         model: RankModel,
         _ctx: RoutingContext,
+        attack: AttackStrategy,
+        _resolved: ResolvedAttack,
         _dest_i: int,
         _att_i: int,
         _fixed: bytes,
@@ -642,6 +718,8 @@ class RoutingOutcome:
         self.attacker = attacker
         self.deployment = deployment
         self.model = model
+        self.attack = attack
+        self._resolved = _resolved
         self._ctx = _ctx
         self._dest_i = _dest_i
         self._att_i = _att_i
@@ -685,16 +763,20 @@ class RoutingOutcome:
                 endpoint=Reach.DEST,
             )
         if i == self._att_i:
+            res = self._resolved
+            reach = Reach.ATTACKER if res.active else Reach.NONE
             return RouteInfo(
                 route_class=None,
-                length=1,  # the bogus announcement "m d" is one hop longer
+                length=res.length,  # the claimed path (default: "m d")
                 key=None,
                 next_hops=(),
-                reaches=Reach.ATTACKER,
+                reaches=reach,
                 secure=False,
-                wire_secure=False,  # legacy BGP: recipients cannot validate
+                # valid-*looking* attributes count as wire security for
+                # receivers; a silent attacker announces nothing.
+                wire_secure=res.wire,
                 choice=None,
-                endpoint=Reach.ATTACKER,
+                endpoint=reach,
             )
         route_class = RouteClass(self._cls[i])
         length = self._len[i]
@@ -818,6 +900,7 @@ def compute_routing_outcome(
     attacker: int | None = None,
     deployment: Deployment | None = None,
     model: RankModel = BASELINE,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> RoutingOutcome:
     """Compute the unique stable routing state (Theorem 2.1).
 
@@ -825,12 +908,14 @@ def compute_routing_outcome(
         topology: the AS graph, or a prebuilt :class:`RoutingContext`
             (build one when calling repeatedly on the same graph).
         destination: the victim AS ``d`` originating the prefix.
-        attacker: the AS ``m`` announcing the bogus path ``"m d"`` via
-            legacy BGP to all its neighbors (Section 3.1); None for
-            normal conditions.
+        attacker: the attacking AS ``m``; None for normal conditions.
         deployment: the secure set ``S``; defaults to ``S = ∅``.
         model: the routing-policy model; defaults to the baseline
             (origin authentication only).
+        attack: the attacker strategy (:mod:`repro.core.attacks`);
+            defaults to the paper's Section 3.1 one-hop hijack — ``m``
+            announces the bogus path ``"m d"`` via legacy BGP to all
+            its neighbors.
 
     Returns:
         A :class:`RoutingOutcome`.
@@ -839,8 +924,11 @@ def compute_routing_outcome(
     deployment = deployment or _EMPTY_DEPLOYMENT
     dest_i, att_i = ctx._check_pair(destination, attacker)
     signing, ranking = ctx.deployment_masks(deployment)
-    ctx._run(dest_i, att_i, signing, ranking, model)
-    return ctx._snapshot(destination, attacker, deployment, model, dest_i, att_i)
+    resolved = ctx._resolve_attack(dest_i, att_i, signing, ranking, model, attack)
+    ctx._run(dest_i, att_i, signing, ranking, model, resolved)
+    return ctx._snapshot(
+        destination, attacker, deployment, model, dest_i, att_i, attack, resolved
+    )
 
 
 def normal_conditions(
@@ -896,6 +984,23 @@ class DestinationSweep:
     detects it (via ``RoutingContext._sweep_owner``) and resynchronizes
     from the snapshot in one ``O(n)`` copy.  Like the context itself, a
     sweep is not thread-safe; fork workers each own a clone.
+
+    Example:
+        One sweep amortizes many attackers against one destination and
+        is bit-identical to the per-pair engine:
+
+        >>> from repro.topology.graph import ASGraph
+        >>> g = ASGraph()
+        >>> for customer, provider in [(2, 1), (3, 1), (4, 2), (5, 3)]:
+        ...     g.add_customer_provider(customer, provider)
+        >>> sweep = DestinationSweep(g, destination=4)
+        >>> sweep.baseline_counts()   # attacker-free happy bounds
+        (4, 4)
+        >>> sweep.counts([5, 3, 1])   # (lower, upper, num_sources) each
+        [(2, 2, 3), (1, 2, 3), (1, 1, 3)]
+        >>> [compute_routing_outcome(g, 4, attacker=m).count_happy()
+        ...  for m in (5, 3, 1)]
+        [(2, 2), (1, 2), (1, 1)]
     """
 
     __slots__ = (
@@ -904,7 +1009,10 @@ class DestinationSweep:
         "destination",
         "deployment",
         "model",
+        "attack",
         "_dest_i",
+        "_dest_signed",
+        "_last_res",
         "_signing",
         "_ranking",
         "_b_fixed",
@@ -929,17 +1037,21 @@ class DestinationSweep:
         destination: int,
         deployment: Deployment | None = None,
         model: RankModel = BASELINE,
+        attack: AttackStrategy = DEFAULT_ATTACK,
     ) -> None:
         ctx = _as_context(topology)
         self.ctx = ctx
         self.destination = destination
         self.deployment = deployment = deployment or _EMPTY_DEPLOYMENT
         self.model = model
+        self.attack = attack
+        self._last_res = DEFAULT_RESOLVED
         dest_i, _ = ctx._check_pair(destination, None)
         self._dest_i = dest_i
         signing, ranking = ctx.deployment_masks(deployment)
         self._signing = signing
         self._ranking = ranking
+        self._dest_signed = bool(signing[dest_i])
         # The attacker-free fixing pass, run exactly once per sweep.
         ctx._run(dest_i, -1, signing, ranking, model)
         n = ctx.n
@@ -1000,7 +1112,8 @@ class DestinationSweep:
         ctx = self.ctx
         ctx._last_counts = self._b_counts
         return ctx._snapshot(
-            self.destination, None, self.deployment, self.model, self._dest_i, -1
+            self.destination, None, self.deployment, self.model,
+            self._dest_i, -1, self.attack, DEFAULT_RESOLVED,
         )
 
     def happiness_counts(self, attacker: int) -> tuple[int, int, int]:
@@ -1022,7 +1135,7 @@ class DestinationSweep:
         ctx._last_counts = counts
         snap = ctx._snapshot(
             self.destination, attacker, self.deployment, self.model,
-            self._dest_i, att_i,
+            self._dest_i, att_i, self.attack, self._last_res,
         )
         self._restore(touched)
         return snap
@@ -1128,6 +1241,23 @@ class DestinationSweep:
             key_fn = model.packed_key
         uses_sec = model.uses_security
         dest_signed = 1 if signing[dest_i] else 0
+        # Resolve the attacker strategy for this pair.  The snapshot
+        # arrays hold the attacker-free state, so needs_baseline
+        # strategies read the attacker's legitimate record for free.
+        attack = self.attack
+        baseline = None
+        if attack.needs_baseline:
+            baseline = AttackerBaseline(
+                has_route=bool(self._b_fixed[att_i]),
+                length=self._b_len[att_i],
+                wire_secure=bool(self._b_wire[att_i]),
+            )
+        res = attack.resolve(dest_signed=self._dest_signed, baseline=baseline)
+        self._last_res = res
+        att_active = res.active
+        att_ln = res.length + 1  # length as ranked by the attacker's neighbors
+        att_wire = 1 if res.wire else 0
+        att_exp = res.export_all
         heap: list[int] = []
         push = heapq.heappush
         pop = heapq.heappop
@@ -1191,6 +1321,10 @@ class DestinationSweep:
             dest_i=dest_i,
             att_i=att_i,
             dest_signed=dest_signed,
+            att_active=att_active,
+            att_ln=att_ln,
+            att_wire=att_wire,
+            att_exp=att_exp,
             cm=cm,
             lm=lm,
             sm=sm,
@@ -1214,8 +1348,13 @@ class DestinationSweep:
                     wire_u = dest_signed
                     reach_u = 1
                 elif u == att_i:
-                    ln = 2
-                    wire_u = 0
+                    # The attacker root offers its claimed path — unless
+                    # it is silent, or its export scope excludes x (x is
+                    # the attacker's customer iff ucls == CUSTOMER).
+                    if not (att_active and (att_exp or ucls == 0)):
+                        continue
+                    ln = att_ln
+                    wire_u = att_wire
                     reach_u = 2
                 else:
                     if cls_b[u] != 0 and ucls != 0:
@@ -1261,6 +1400,10 @@ class DestinationSweep:
             dest_i=dest_i,
             att_i=att_i,
             dest_signed=dest_signed,
+            att_active=att_active,
+            att_ln=att_ln,
+            att_wire=att_wire,
+            att_exp=att_exp,
             cm=cm,
             lm=lm,
             sm=sm,
@@ -1285,8 +1428,10 @@ class DestinationSweep:
                             wire_u = dest_signed
                             reach_u = 1
                         elif u == att_i:
-                            ln = 2
-                            wire_u = 0
+                            if not (att_active and (att_exp or ucls == 0)):
+                                continue
+                            ln = att_ln
+                            wire_u = att_wire
                             reach_u = 2
                         else:
                             if cls_b[u] != 0 and ucls != 0:
@@ -1351,46 +1496,55 @@ class DestinationSweep:
         # Step 1: void the attacker's own record and everything whose
         # baseline best routes pass through it.
         resets0 = reset_closure(att_i)
-        # Step 2: the attacker becomes a root announcing the bogus
-        # one-hop path "m d" via legacy BGP.
+        # Step 2: the attacker becomes a root announcing its claimed
+        # path as the strategy resolved it (the paper default: the
+        # bogus one-hop path "m d" via legacy BGP).
         fixed[att_i] = 1
-        len_l[att_i] = 1
-        reach_b[att_i] = 2
-        endp_b[att_i] = 2
-        wire_b[att_i] = 0
+        len_l[att_i] = res.length
+        reach_b[att_i] = 2 if att_active else 0
+        endp_b[att_i] = 2 if att_active else 0
+        wire_b[att_i] = att_wire
         choice_l[att_i] = -1
-        # Step 3: the bogus announcement reaches every neighbor (legacy
-        # BGP lets the lie flow everywhere: the claimed path "m d" looks
+        # Step 3: the claimed announcement reaches every neighbor in the
+        # strategy's export scope (default: all of them — legacy BGP
+        # lets the lie flow everywhere, since the claimed path looks
         # like a customer route the attacker may export to anyone).
         pending: list[int] = []
-        for e in edges[att_i]:
-            w = e >> 3
-            if dirty[w]:
-                continue  # reset in step 1; gather() delivers the offer
-            vcls = (e >> 1) & 3
-            if key_fn is None:
-                k = vcls * cm + 2 * lm + sm
-            else:
-                k = key_fn(RouteClass(vcls), 2, False)
-            if fixed[w]:
-                if w == dest_i:
+        if att_active:
+            for e in edges[att_i]:
+                if not (att_exp or (e & 1)):
+                    continue  # outside the export scope (non-customer)
+                w = e >> 3
+                if dirty[w]:
+                    continue  # reset in step 1; gather() delivers the offer
+                vcls = (e >> 1) & 3
+                if key_fn is None:
+                    k = vcls * cm + att_ln * lm + (
+                        0 if (att_wire and ranking[w]) else sm
+                    )
+                else:
+                    k = key_fn(
+                        RouteClass(vcls), att_ln, bool(att_wire and ranking[w])
+                    )
+                if fixed[w]:
+                    if w == dest_i:
+                        continue
+                    cur = key_l[w]
+                    if k < cur or (k == cur and not att_wire and wire_b[w]):
+                        pending.append(w)
+                    elif k == cur:
+                        ties.append((w, att_i))
                     continue
+                # Unreachable under normal conditions: first offer ever.
                 cur = key_l[w]
-                if k < cur or (k == cur and wire_b[w]):
-                    pending.append(w)
-                elif k == cur:
-                    ties.append((w, att_i))
-                continue
-            # Unreachable under normal conditions: first offer ever.
-            cur = key_l[w]
-            if k < cur:
-                key_l[w] = k
-                cls_b[w] = vcls
-                len_l[w] = 2
-                reach_b[w] = 2
-                wire_b[w] = 0
-                nhops[w] = [att_i]
-                push(heap, (k << PACK_SHIFT) | w)
+                if k < cur:
+                    key_l[w] = k
+                    cls_b[w] = vcls
+                    len_l[w] = att_ln
+                    reach_b[w] = 2
+                    wire_b[w] = att_wire
+                    nhops[w] = [att_i]
+                    push(heap, (k << PACK_SHIFT) | w)
         # Step 4: boundary offers for the step-1 resets (the attacker is
         # fixed now, so the collection includes the bogus offer exactly
         # once).
@@ -1584,6 +1738,7 @@ def batch_outcomes(
     pairs: Sequence[tuple[int | None, int]],
     deployment: Deployment | None = None,
     model: RankModel = BASELINE,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> list[RoutingOutcome]:
     """Stable states for many ``(attacker, destination)`` pairs at once.
 
@@ -1598,9 +1753,15 @@ def batch_outcomes(
     out: list[RoutingOutcome] = []
     for attacker, destination in pairs:
         dest_i, att_i = ctx._check_pair(destination, attacker)
-        ctx._run(dest_i, att_i, signing, ranking, model)
+        resolved = ctx._resolve_attack(
+            dest_i, att_i, signing, ranking, model, attack
+        )
+        ctx._run(dest_i, att_i, signing, ranking, model, resolved)
         out.append(
-            ctx._snapshot(destination, attacker, deployment, model, dest_i, att_i)
+            ctx._snapshot(
+                destination, attacker, deployment, model, dest_i, att_i,
+                attack, resolved,
+            )
         )
     return out
 
@@ -1612,6 +1773,7 @@ def batch_happiness_counts(
     model: RankModel = BASELINE,
     *,
     destination_major: bool = True,
+    attack: AttackStrategy = DEFAULT_ATTACK,
 ) -> list[tuple[int, int, int]]:
     """``(happy_lower, happy_upper, num_sources)`` per ``(m, d)`` pair.
 
@@ -1635,7 +1797,10 @@ def batch_happiness_counts(
         out: list[tuple[int, int, int]] = []
         for attacker, destination in pairs:
             dest_i, att_i = ctx._check_pair(destination, attacker)
-            ctx._run(dest_i, att_i, signing, ranking, model)
+            resolved = ctx._resolve_attack(
+                dest_i, att_i, signing, ranking, model, attack
+            )
+            ctx._run(dest_i, att_i, signing, ranking, model, resolved)
             counts = ctx._last_counts
             out.append(
                 (counts[0], counts[1], n - (2 if attacker is not None else 1))
@@ -1653,13 +1818,16 @@ def batch_happiness_counts(
             # sweep's snapshot + dependency-CSR construction.
             for i, m in zip(idxs, attackers):
                 dest_i, att_i = ctx._check_pair(d, m)
-                ctx._run(dest_i, att_i, signing, ranking, model)
+                resolved = ctx._resolve_attack(
+                    dest_i, att_i, signing, ranking, model, attack
+                )
+                ctx._run(dest_i, att_i, signing, ranking, model, resolved)
                 counts = ctx._last_counts
                 slots[i] = (
                     counts[0], counts[1], n - (2 if m is not None else 1)
                 )
             continue
-        sweep = DestinationSweep(ctx, d, deployment, model)
+        sweep = DestinationSweep(ctx, d, deployment, model, attack=attack)
         for i in idxs:
             m = pairs[i][0]
             if m is None:

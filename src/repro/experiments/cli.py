@@ -12,7 +12,11 @@ Shared flags: ``--trials K`` evaluates every sweep over K consecutive
 topology seeds and reports mean ± stderr rows; ``--cache-dir`` points
 the persistent scenario store (``.repro-cache/`` by default) so
 repeated runs only evaluate scenarios they have not seen before, and
-``--no-cache`` disables the store entirely.
+``--no-cache`` disables the store entirely; ``--attack`` sets the
+run-wide attacker strategy (threat model) — ``hijack`` (the paper's
+Section 3.1 default), ``honest``, ``forged_origin``, or ``khop<k>``.
+Results are stored under strategy-aware scenario hashes, so different
+threat models never collide in the cache.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import argparse
 import sys
 import time
 
+from ..core.attacks import DEFAULT_ATTACK_TOKEN, strategy_from_token
 from .config import DEFAULT_SEED, SCALES
 from .registry import all_experiments
 from .store import DEFAULT_CACHE_DIR, ResultStore
@@ -76,6 +81,21 @@ def _common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="evaluate everything fresh; do not read or write the store",
     )
+    parser.add_argument(
+        "--attack",
+        default=DEFAULT_ATTACK_TOKEN,
+        type=_attack_token,
+        help="attacker strategy: hijack (default), honest, forged_origin, "
+        "or khop<k> (see repro.core.attacks)",
+    )
+
+
+def _attack_token(raw: str) -> str:
+    """argparse type: validate an attack token, keep it as a string."""
+    try:
+        return strategy_from_token(raw).token
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
 
 
 def _make_store(args: argparse.Namespace) -> ResultStore | None:
@@ -111,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
                 trials=args.trials,
                 store=store,
                 ixp=args.ixp,
+                attack=args.attack,
             )
         finally:
             if store is not None:
@@ -130,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
                 include_ixp=not args.no_ixp,
                 trials=args.trials,
                 store=store,
+                attack=args.attack,
             )
         finally:
             if store is not None:

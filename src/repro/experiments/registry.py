@@ -123,6 +123,7 @@ def _ensure_loaded() -> None:
         return
     from . import (  # noqa: F401
         exp_ablation,
+        exp_attacks,
         exp_baseline,
         exp_downgrade,
         exp_extensions,

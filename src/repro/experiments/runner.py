@@ -40,6 +40,7 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
+from ..core.attacks import DEFAULT_ATTACK, AttackStrategy, strategy_from_token
 from ..core.deployment import Deployment, ScenarioCatalog
 from ..core.metrics import (
     MetricResult,
@@ -81,7 +82,8 @@ def _metric_chunk_worker(
     worker runs every destination's attacker-free baseline exactly
     once)."""
     return batch_happiness(
-        ectx.graph_ctx, chunk, state["deployment"], state["model"]
+        ectx.graph_ctx, chunk, state["deployment"], state["model"],
+        attack=state["attack"],
     )
 
 
@@ -157,6 +159,9 @@ class ExperimentContext:
     tiers: TierTable
     catalog: ScenarioCatalog
     processes: int = 1
+    #: run-wide attacker strategy: the default threat model for every
+    #: request declared without an explicit ``attack`` (CLI ``--attack``).
+    attack: AttackStrategy = DEFAULT_ATTACK
     cache: dict = field(default_factory=dict)
     #: scenarios evaluated through :meth:`metric` (the acceptance
     #: counter: a warm-store rerun must leave this at zero).
@@ -236,6 +241,7 @@ class ExperimentContext:
         pairs: Sequence[tuple[int, int]],
         deployment: Deployment,
         model: RankModel,
+        attack: AttackStrategy | None = None,
     ) -> MetricResult:
         """``H_{M,D}(S)`` over explicit pairs, parallelized if configured.
 
@@ -243,9 +249,11 @@ class ExperimentContext:
         missing scenario; experiments declare
         :class:`~repro.experiments.scenarios.EvalRequest` objects instead
         of calling it directly, so ``metric_evaluations`` counts exactly
-        the scenarios actually computed.
+        the scenarios actually computed.  ``attack`` defaults to the
+        context's run-wide attacker strategy.
         """
         pairs = list(pairs)
+        attack = self.attack if attack is None else attack
         self.metric_evaluations += 1
         # Shard whole *destination groups* (not raw pair chunks) across
         # the pool so each worker fixes every destination's attacker-free
@@ -261,7 +269,7 @@ class ExperimentContext:
         parts = self.map_tasks(
             _metric_chunk_worker,
             [[pairs[i] for i in bin_] for bin_ in bins],
-            state={"deployment": deployment, "model": model},
+            state={"deployment": deployment, "model": model, "attack": attack},
             chunksize=1,
             min_parallel=2,
         )
@@ -278,6 +286,7 @@ def make_context(
     seed: int = DEFAULT_SEED,
     ixp: bool = False,
     processes: int = 1,
+    attack: AttackStrategy | str = DEFAULT_ATTACK,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext`.
 
@@ -287,8 +296,13 @@ def make_context(
         seed: topology + sampling seed.
         ixp: run on the IXP-augmented graph (Appendix J).
         processes: worker processes for metric fan-out (1 = serial).
+        attack: run-wide attacker strategy (instance or token, e.g.
+            ``"forged_origin"``) used by every request that does not pin
+            its own threat model.
     """
     scale_obj = scale if isinstance(scale, Scale) else get_scale(scale)
+    if isinstance(attack, str):
+        attack = strategy_from_token(attack)
     topo = generate_topology(TopologyParams(n=scale_obj.n, seed=seed))
     graph = topo.graph
     if ixp:
@@ -303,6 +317,7 @@ def make_context(
         tiers=tiers,
         catalog=ScenarioCatalog(graph, tiers),
         processes=processes,
+        attack=attack,
     )
 
 
@@ -360,7 +375,10 @@ def evaluate_requests(
                 continue
             store.misses += 1
         result = ectx.metric(
-            request.pairs, request.to_deployment(), request.to_model()
+            request.pairs,
+            request.to_deployment(),
+            request.to_model(),
+            attack=request.to_attack(),
         )
         if store is not None:
             store.put(request, result)

@@ -1,9 +1,10 @@
 """The declarative scenario plane: evaluation requests and sweep specs.
 
-The paper's quantity ``H_{M,D}(S)`` is fully determined by five inputs:
+The paper's quantity ``H_{M,D}(S)`` is fully determined by six inputs:
 the topology (scale + seed + IXP augmentation), the pair set ``M × D``,
-the deployment ``S``, and the rank model.  An :class:`EvalRequest`
-captures exactly those inputs in a canonical, hashable form, so that
+the deployment ``S``, the rank model, and the attacker strategy (the
+threat model).  An :class:`EvalRequest` captures exactly those inputs
+in a canonical, hashable form, so that
 
 * experiments can *declare* the scenarios they need instead of
   evaluating metrics imperatively,
@@ -33,7 +34,12 @@ stored scenario hash, so treat them as a stable format):
    (e.g. ``"security_2nd"`` or ``"security_3rd/LP2"``), which encodes
    both the security placement and the LP variant and parses back via
    :func:`model_from_token`.
-5. The scenario hash is the SHA-256 of the compact, key-sorted JSON of
+5. The attacker strategy is its canonical token (e.g. ``"hijack"``,
+   ``"honest"``, ``"khop3"``, ``"forged_origin"``), parsed back via
+   :func:`repro.core.attacks.strategy_from_token`.  Different threat
+   models are different scenarios: their results never collide in the
+   store.
+6. The scenario hash is the SHA-256 of the compact, key-sorted JSON of
    :meth:`EvalRequest.canonical` (first 20 hex digits).  The canonical
    dict embeds two versions: :data:`SCENARIO_FORMAT` (this
    representation) and :data:`repro.core.routing.ENGINE_VERSION` (the
@@ -50,6 +56,11 @@ import json
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
+from ..core.attacks import (
+    DEFAULT_ATTACK,
+    AttackStrategy,
+    strategy_from_token,
+)
 from ..core.deployment import Deployment
 from ..core.metrics import (
     AttackHappiness,
@@ -66,7 +77,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: Bump when the canonical representation changes; part of every hash.
 #: 2: pair lists are canonicalized destination-grouped ((d, m) sort
 #: order) for the destination-major engine — old stores evaluate cold.
-SCENARIO_FORMAT = 2
+#: 3: requests carry the attacker-strategy token (the threat model is
+#: an evaluation input) — old stores evaluate cold again.
+SCENARIO_FORMAT = 3
 
 
 def model_token(model: RankModel) -> str:
@@ -86,6 +99,17 @@ def model_from_token(token: str) -> RankModel:
     return RankModel(SecurityModel(placement), preference)
 
 
+def attack_token(attack: "AttackStrategy | str") -> str:
+    """The canonical string form of an attacker strategy.
+
+    Accepts a strategy instance or an already-tokenized string; strings
+    are validated by round-tripping through the strategy registry.
+    """
+    if isinstance(attack, str):
+        return strategy_from_token(attack).token
+    return attack.token
+
+
 @dataclass(frozen=True)
 class EvalRequest:
     """One fully-specified ``H_{M,D}(S)`` evaluation (see module docs).
@@ -93,6 +117,27 @@ class EvalRequest:
     Build with :meth:`build` (or :func:`request_for` inside an
     experiment); the constructor trusts its arguments to already be
     canonical.
+
+    Example:
+        Requests canonicalize their inputs — pairs are deduplicated and
+        destination-grouped, the model and attacker strategy become
+        tokens — so equal scenarios collide onto one content address:
+
+        >>> from repro.core import Deployment, SECURITY_SECOND, HONEST
+        >>> req = EvalRequest.build(
+        ...     scale="tiny", seed=7, ixp=False,
+        ...     pairs=[(30, 20), (10, 20), (30, 20)],
+        ...     deployment=Deployment.of([10, 20]),
+        ...     model=SECURITY_SECOND, attack=HONEST,
+        ... )
+        >>> req.pairs
+        ((10, 20), (30, 20))
+        >>> req.model, req.attack
+        ('security_2nd', 'honest')
+        >>> req.to_attack() is HONEST
+        True
+        >>> len(req.scenario_hash)
+        20
     """
 
     scale: str
@@ -102,6 +147,7 @@ class EvalRequest:
     deployment_full: tuple[int, ...]
     deployment_simplex: tuple[int, ...]
     model: str
+    attack: str = DEFAULT_ATTACK.token
 
     @classmethod
     def build(
@@ -113,6 +159,7 @@ class EvalRequest:
         pairs: Iterable[tuple[int, int]],
         deployment: Deployment,
         model: RankModel,
+        attack: "AttackStrategy | str" = DEFAULT_ATTACK,
     ) -> "EvalRequest":
         """Canonicalize raw inputs into a request (rules in module docs)."""
         return cls(
@@ -128,6 +175,7 @@ class EvalRequest:
             deployment_full=tuple(sorted(deployment.full)),
             deployment_simplex=tuple(sorted(deployment.simplex)),
             model=model_token(model),
+            attack=attack_token(attack),
         )
 
     # -- the evaluation-side views ------------------------------------
@@ -139,6 +187,9 @@ class EvalRequest:
 
     def to_model(self) -> RankModel:
         return model_from_token(self.model)
+
+    def to_attack(self) -> AttackStrategy:
+        return strategy_from_token(self.attack)
 
     # -- canonical form -----------------------------------------------
     def canonical(self) -> dict:
@@ -153,6 +204,7 @@ class EvalRequest:
             "deployment_full": list(self.deployment_full),
             "deployment_simplex": list(self.deployment_simplex),
             "model": self.model,
+            "attack": self.attack,
         }
 
     @functools.cached_property
@@ -175,8 +227,14 @@ def request_for(
     pairs: Iterable[tuple[int, int]],
     deployment: Deployment,
     model: RankModel,
+    attack: "AttackStrategy | str | None" = None,
 ) -> EvalRequest:
-    """Build a request for ``ectx``'s topology (the usual entry point)."""
+    """Build a request for ``ectx``'s topology (the usual entry point).
+
+    The attacker strategy defaults to the context's (set by the CLI's
+    ``--attack``); pass ``attack`` explicitly to pin a specific threat
+    model regardless of the run-wide setting.
+    """
     return EvalRequest.build(
         scale=ectx.scale.name,
         seed=ectx.seed,
@@ -184,6 +242,7 @@ def request_for(
         pairs=pairs,
         deployment=deployment,
         model=model,
+        attack=ectx.attack if attack is None else attack,
     )
 
 

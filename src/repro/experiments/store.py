@@ -44,6 +44,32 @@ class ResultStore:
     is written as a single unbuffered ``O_APPEND`` write of one complete
     line — concurrent writers from multi-process runs can interleave
     *records* but never partial lines.
+
+    Example:
+        Results round-trip bit-exactly through the JSONL file, keyed by
+        the request's content hash:
+
+        >>> import tempfile
+        >>> from repro.core import BASELINE, Deployment
+        >>> from repro.core.metrics import AttackHappiness, MetricResult
+        >>> from repro.experiments.scenarios import EvalRequest
+        >>> request = EvalRequest.build(
+        ...     scale="tiny", seed=1, ixp=False, pairs=[(3, 2)],
+        ...     deployment=Deployment.empty(), model=BASELINE,
+        ... )
+        >>> pair = AttackHappiness(
+        ...     attacker=3, destination=2,
+        ...     happy_lower=5, happy_upper=7, num_sources=10,
+        ... )
+        >>> result = MetricResult(value=pair.fraction, per_pair=(pair,))
+        >>> tmp = tempfile.TemporaryDirectory()
+        >>> with ResultStore(tmp.name) as store:
+        ...     _ = store.put(request, result)
+        >>> reopened = ResultStore(tmp.name)
+        >>> print(reopened.get(request.scenario_hash).value)
+        [0.5000, 0.7000]
+        >>> request.scenario_hash in reopened
+        True
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):

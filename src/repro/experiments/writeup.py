@@ -47,6 +47,7 @@ def run_trials(
     trials: int = 1,
     store: ResultStore | None = None,
     ixp: bool = False,
+    attack: str = "hijack",
 ) -> list[ExperimentResult]:
     """Run experiments over ``trials`` consecutive topology seeds.
 
@@ -54,13 +55,16 @@ def run_trials(
     trials share the scheduler's store, so repeated invocations are
     incremental.  With ``trials == 1`` the single trial's results are
     returned untouched; otherwise rows become mean ± stderr aggregates.
+    ``attack`` sets the run-wide attacker strategy (requests that pin
+    their own threat model are unaffected).
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     per_trial = []
     for trial in range(trials):
         with make_context(
-            scale=scale, seed=seed + trial, ixp=ixp, processes=processes
+            scale=scale, seed=seed + trial, ixp=ixp, processes=processes,
+            attack=attack,
         ) as ectx:
             per_trial.append(
                 run_experiments(ectx, list(experiment_ids), store=store)
@@ -76,13 +80,14 @@ def run_all(
     experiment_ids: list[str] | None = None,
     trials: int = 1,
     store: ResultStore | None = None,
+    attack: str = "hijack",
 ) -> list[ExperimentResult]:
     """Run every registered experiment (plus the Appendix J reruns)."""
     specs = all_experiments()
     ids = experiment_ids or list(specs)
     results = run_trials(
         ids, scale=scale, seed=seed, processes=processes, trials=trials,
-        store=store,
+        store=store, attack=attack,
     )
     if include_ixp:
         ixp_ids = [
@@ -91,7 +96,7 @@ def run_all(
         if ixp_ids:
             results += run_trials(
                 ixp_ids, scale=scale, seed=seed, processes=processes,
-                trials=trials, store=store, ixp=True,
+                trials=trials, store=store, ixp=True, attack=attack,
             )
     return results
 
@@ -104,12 +109,13 @@ def write_markdown(
     include_ixp: bool = True,
     trials: int = 1,
     store: ResultStore | None = None,
+    attack: str = "hijack",
 ) -> list[ExperimentResult]:
     """Run everything and write EXPERIMENTS.md to ``path``."""
     started = time.time()
     results = run_all(
         scale=scale, seed=seed, processes=processes, include_ixp=include_ixp,
-        trials=trials, store=store,
+        trials=trials, store=store, attack=attack,
     )
     elapsed = time.time() - started
     blocks = [

@@ -27,6 +27,7 @@ class TestRegistry:
         "hysteresis", "islands",  # §8 extensions
         "lpk_sweep",  # Appendix K.1
         "ablation_tiebreak",  # §5.2.1 knife's edge
+        "attacks",  # attacker-strategy robustness (threat models)
     }
 
     def test_every_table_and_figure_registered(self):
