@@ -24,18 +24,22 @@ doctest:
 		src/repro/experiments/store.py
 
 ## perf trajectories: BENCH_routing.json (fails below the recorded
-## floors) and BENCH_pipeline.json (end-to-end sweep, cold vs warm
-## scenario store)
+## floors), BENCH_rollout.json (step-independent vs rollout-major on
+## the dense fig7a chain, >= 3x floor on security_1st) and
+## BENCH_pipeline.json (end-to-end sweep, cold vs warm scenario store)
 bench:
 	$(PYTHON) benchmarks/bench_routing.py
+	$(PYTHON) benchmarks/bench_rollout.py
 	$(PYTHON) benchmarks/bench_pipeline.py
 
-## CI perf smoke: reduced routing sweep, fails if the batched-vs-seed or
-## destination-major speedups fall below the check floors (2.5x each,
-## generous vs the ~4.2x both record on dev hardware); never touches the
-## repo's BENCH_routing.json (check output defaults to a temp file)
+## CI perf smoke: reduced sweeps, fails if the batched-vs-seed or
+## destination-major speedups fall below 2.5x, or the rollout-major
+## chain speedup below 2x (generous vs the ~4.3x/~4.7x/~3.4x they
+## record on dev hardware); never touches the repo's committed BENCH
+## files (check output defaults to temp files)
 bench-check:
 	$(PYTHON) benchmarks/bench_routing.py --check
+	$(PYTHON) benchmarks/bench_rollout.py --check
 
 ## full pytest-benchmark microbenchmark harness
 bench-micro:

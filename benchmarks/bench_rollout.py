@@ -1,0 +1,227 @@
+"""Rollout-engine benchmark: step-independent vs. rollout-major on the
+dense fig7a deployment chain.
+
+The paper's rollout figures evaluate a chain of nested deployments
+``S_0 ⊆ S_1 ⊆ … ⊆ S_T`` over one attacker×victim pair set; follow-up
+deployment-ordering studies (Barrett et al. 2024) sweep such chains at
+one-ISP granularity and far larger scenario counts.  This benchmark
+times exactly that workload on the engine's two evaluation paths and
+records the trajectory in ``BENCH_rollout.json`` at the repository
+root:
+
+* **step-independent** — today's default scenario path before chain
+  detection: each chain step is a fresh destination-major
+  :func:`repro.core.routing.batch_happiness_counts` call (which itself
+  falls back to plain per-pair fixing passes for the rollout sampling's
+  mostly-one-attacker destination groups);
+* **rollout-major** — :func:`repro.core.routing.rollout_happiness_counts`:
+  each destination walks the whole chain on warm engine state (one
+  converged pass at ``S_0``, an ``O(changed)`` advance per step).
+
+The chain is the **fig7a rollout refined to one ISP (+stubs) per
+step** (:func:`repro.core.deployment.tier12_rollout_dense` — the
+``fig7a_dense`` experiment's scenarios; the coarse fig7a steps appear
+verbatim inside it), and the pair set is the fig7a experiment's own
+sampling shape: ``scale.rollout_pairs`` seeded (m, d) pairs with
+non-stub attackers against uniformly random victims.  Both paths must
+agree bit-for-bit on every (pair, step); a refimpl spot check ties a
+sample to the seed engine.
+
+Run via ``make bench`` or directly::
+
+    PYTHONPATH=src python benchmarks/bench_rollout.py [--scale small]
+
+``--check`` runs a reduced, CI-sized variant (same chain density,
+fewer pairs, generous floor) — this is what ``make bench-check``
+executes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+
+from repro import core, topology
+from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+from repro.experiments import sampling
+from repro.experiments.config import get_scale
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_rollout.json"
+
+#: Acceptance floor: rollout-major must beat step-independent
+#: destination-major by this on the security_1st fig7a dense chain.
+REQUIRED_ROLLOUT_SPEEDUP = 3.0
+#: Floor for ``--check`` (the CI smoke): reduced pair budget on a noisy
+#: shared runner — dev hardware records ~3.2x for every placement.
+CHECK_REQUIRED_ROLLOUT_SPEEDUP = 2.0
+#: The placement whose row carries the floor.
+HEADLINE_MODEL = core.SECURITY_FIRST
+
+
+def fig7a_pairs(graph, tiers, seed: int, count: int) -> list[tuple[int, int]]:
+    """The fig7a experiment's pair shape: non-stub attackers against
+    uniformly random victims (``ExperimentContext.rng("rollout-pairs")``
+    uses the same string-seeded RNG construction)."""
+    rng = random.Random(f"{seed}/bench/rollout-pairs")
+    attackers = sampling.nonstub_attackers(tiers)
+    return sampling.sample_pairs(rng, attackers, graph.asns, count)
+
+
+def time_chain(ctx, pairs, chain, model) -> dict:
+    """Time both evaluation paths over the whole chain, asserting exact
+    agreement on every (pair, step)."""
+    t0 = time.perf_counter()
+    independent = [
+        core.batch_happiness_counts(ctx, pairs, deployment, model)
+        for deployment in chain
+    ]
+    independent_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    rollout = core.rollout_happiness_counts(ctx, pairs, chain, model)
+    rollout_s = time.perf_counter() - t0
+    assert rollout == independent, (
+        f"rollout-major disagrees with the step-independent path "
+        f"({model.label})"
+    )
+    scenarios = len(chain)
+    evaluations = scenarios * len(pairs)
+    return {
+        "independent_s": round(independent_s, 3),
+        "rollout_s": round(rollout_s, 3),
+        "independent_per_scenario_ms": round(independent_s / scenarios * 1e3, 2),
+        "rollout_per_scenario_ms": round(rollout_s / scenarios * 1e3, 2),
+        "independent_pairsteps_per_sec": round(evaluations / independent_s, 1),
+        "rollout_pairsteps_per_sec": round(evaluations / rollout_s, 1),
+        "speedup": round(independent_s / rollout_s, 2),
+    }
+
+
+def refimpl_spot_check(graph, ctx, pairs, chain, model, samples: int = 6) -> int:
+    """The seed engine agrees with the rollout walk on a (pair, step)
+    sample — an independent oracle, not just path-vs-path equality."""
+    rollout = core.rollout_happiness_counts(ctx, pairs, chain, model)
+    ref_ctx = RefRoutingContext(graph)
+    rnd = random.Random(98)
+    combos = [(t, i) for t in range(len(chain)) for i in range(len(pairs))]
+    checked = 0
+    for t, i in rnd.sample(combos, min(samples, len(combos))):
+        m, d = pairs[i]
+        lo, up, _src = rollout[t][i]
+        ref = ref_compute_routing_outcome(ref_ctx, d, m, chain[t], model)
+        assert ref.count_happy() == (lo, up), (
+            f"rollout-major disagrees with refimpl on pair ({m}, {d}) "
+            f"at step {t}"
+        )
+        checked += 1
+    return checked
+
+
+def run(scale_name: str, num_pairs: int, seed: int) -> dict:
+    scale = get_scale(scale_name)
+    topo = topology.generate_topology(topology.TopologyParams(n=scale.n, seed=seed))
+    graph = topo.graph
+    tiers = topology.classify_tiers(graph)
+    steps = core.tier12_rollout_dense(graph, tiers)
+    chain = [step.deployment for step in steps]
+    pairs = fig7a_pairs(graph, tiers, seed, num_pairs)
+    ctx = core.RoutingContext(graph)
+
+    models = {}
+    for model in core.SECURITY_MODELS:
+        models[model.label] = time_chain(ctx, pairs, chain, model)
+    checked = refimpl_spot_check(graph, ctx, pairs, chain, HEADLINE_MODEL)
+
+    try:
+        commit = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        commit = "unknown"
+    return {
+        "benchmark": "rollout_chain_sweep",
+        "commit": commit,
+        "python": platform.python_version(),
+        "scale": scale_name,
+        "n_ases": scale.n,
+        "seed": seed,
+        "chain": "fig7a dense (tier12_rollout_dense: T1 block, then one T2+stubs per step)",
+        "chain_steps": len(chain),
+        "deployment_sizes": [step.deployment.size for step in steps],
+        "num_pairs": len(pairs),
+        "distinct_destinations": len({d for _m, d in pairs}),
+        "headline_model": HEADLINE_MODEL.label,
+        "models": models,
+        "speedup_rollout_vs_independent": models[HEADLINE_MODEL.label]["speedup"],
+        "required_rollout_speedup": REQUIRED_ROLLOUT_SPEEDUP,
+        "refimpl_pairsteps_checked": checked,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="small", help="experiment scale name")
+    parser.add_argument(
+        "--pairs",
+        type=int,
+        default=None,
+        help="(m, d) pairs in the sweep (default: the scale's "
+        "rollout_pairs budget, matching the fig7a experiment)",
+    )
+    parser.add_argument("--seed", type=int, default=2013)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke: reduced pair budget, generous floor, temp output",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="where to write the JSON record (default: BENCH_rollout.json "
+        "at the repo root; a temp file under --check so reduced-sweep "
+        "numbers can never clobber the committed trajectory)",
+    )
+    args = parser.parse_args()
+    if args.pairs is None:
+        args.pairs = get_scale(args.scale).rollout_pairs
+    if args.check:
+        # Fewer pairs but the full chain density: per-step amortization
+        # across the whole chain is what the floor measures, and
+        # thinning the chain would systematically shrink it.
+        args.pairs = min(args.pairs, 24)
+    if args.pairs < 1:
+        parser.error("--pairs must be >= 1")
+    if args.output is None:
+        args.output = (
+            Path(tempfile.gettempdir()) / "BENCH_rollout.check.json"
+            if args.check
+            else OUTPUT
+        )
+    record = run(args.scale, args.pairs, args.seed)
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    print(json.dumps(record, indent=2))
+    floor = (
+        CHECK_REQUIRED_ROLLOUT_SPEEDUP if args.check else REQUIRED_ROLLOUT_SPEEDUP
+    )
+    speedup = record["speedup_rollout_vs_independent"]
+    if speedup < floor:
+        raise SystemExit(
+            f"rollout-major speedup {speedup:.2f}x on "
+            f"{record['headline_model']} is below the required {floor}x floor"
+        )
+    print(f"\nwrote {args.output} (rollout-major {speedup:.2f}x >= {floor}x)")
+
+
+if __name__ == "__main__":
+    main()

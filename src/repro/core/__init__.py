@@ -97,6 +97,7 @@ from .deployment import (
     nonstub_deployment,
     stubs_of,
     tier12_rollout,
+    tier12_rollout_dense,
     tier1_and_stubs,
     tier2_rollout,
     top_tier2_and_stubs,
@@ -104,6 +105,7 @@ from .deployment import (
 from .routing import (
     DestinationSweep,
     Reach,
+    RolloutSweep,
     RouteInfo,
     RoutingContext,
     RoutingOutcome,
@@ -111,6 +113,7 @@ from .routing import (
     batch_outcomes,
     compute_routing_outcome,
     normal_conditions,
+    rollout_happiness_counts,
 )
 from .perceivable import (
     AttackCloseures,
@@ -127,6 +130,7 @@ from .metrics import (
     batch_happiness,
     metric_for_destination,
     metric_improvement,
+    rollout_happiness,
     security_metric,
 )
 from .downgrade import (
@@ -187,12 +191,14 @@ __all__ = [
     "ScenarioCatalog",
     "stubs_of",
     "tier12_rollout",
+    "tier12_rollout_dense",
     "tier2_rollout",
     "nonstub_deployment",
     "tier1_and_stubs",
     "top_tier2_and_stubs",
     # routing
     "DestinationSweep",
+    "RolloutSweep",
     "Reach",
     "RouteInfo",
     "RoutingContext",
@@ -201,6 +207,7 @@ __all__ = [
     "normal_conditions",
     "batch_outcomes",
     "batch_happiness_counts",
+    "rollout_happiness_counts",
     # perceivable / partitions
     "ClassReach",
     "AttackCloseures",
@@ -216,6 +223,7 @@ __all__ = [
     "MetricResult",
     "attack_happiness",
     "batch_happiness",
+    "rollout_happiness",
     "security_metric",
     "metric_for_destination",
     "metric_improvement",

@@ -180,6 +180,42 @@ def tier12_rollout(
     return steps
 
 
+def tier12_rollout_dense(
+    graph: ASGraph,
+    tiers: TierTable,
+    simplex_stubs: bool = False,
+    include_cps: bool = False,
+) -> list[RolloutStep]:
+    """The §5.2.1 rollout refined to one-ISP granularity.
+
+    Step 0 secures the Tier 1 block (plus stubs); each further step adds
+    exactly one Tier 2 (plus its stubs) in customer-degree order — the
+    deployment-*ordering* workload that follow-up studies (e.g. Barrett
+    et al., "Ain't How You Deploy", 2024) sweep at far larger scenario
+    counts than the paper's three Figure 7 points.  The coarse
+    :func:`tier12_rollout` steps appear verbatim in this chain (same
+    member sets at the matching Y counts), so the two experiments'
+    scenarios dedupe; adjacent steps differ by one ISP and its stubs,
+    which is exactly the shape the rollout-major engine
+    (:class:`repro.core.routing.RolloutSweep`) amortizes best.
+    """
+    t1 = tiers.members(Tier.TIER1)
+    t2 = tiers.members(Tier.TIER2)
+    t2_ranked = sorted(t2, key=lambda a: (-graph.customer_degree(a), a))
+    extra = tiers.members(Tier.CP) if include_cps else ()
+    suffix = "+CP" if include_cps else ""
+    return [
+        _isp_step(
+            graph,
+            f"T1+{y}xT2{suffix}",
+            list(t1) + t2_ranked[:y],
+            extra=extra,
+            simplex_stubs=simplex_stubs,
+        )
+        for y in range(len(t2_ranked) + 1)
+    ]
+
+
 def tier2_rollout(
     graph: ASGraph,
     tiers: TierTable,

@@ -30,6 +30,7 @@ from .routing import (
     RoutingContext,
     batch_happiness_counts,
     compute_routing_outcome,
+    rollout_happiness_counts,
 )
 
 #: A mapper with the semantics of builtin ``map`` — swap in
@@ -248,6 +249,45 @@ def batch_happiness(
             num_sources=num_sources,
         )
         for (m, d), (lower, upper, num_sources) in zip(pairs, counts)
+    ]
+
+
+def rollout_happiness(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int, int]],
+    deployments: Sequence[Deployment],
+    model: RankModel,
+    *,
+    attack: AttackStrategy = DEFAULT_ATTACK,
+) -> list[list[AttackHappiness]]:
+    """Happy-source counts for many pairs under a nested-deployment
+    chain, rollout-major: ``result[t][i]`` is pair ``i`` under
+    ``deployments[t]``.
+
+    Each destination group walks the whole chain on one warm
+    :class:`repro.core.routing.RolloutSweep` (see
+    :func:`repro.core.routing.rollout_happiness_counts`); per-step
+    results are in input pair order and bit-identical to evaluating
+    every step independently through :func:`batch_happiness`.  This is
+    what each scheduler worker runs on its share of destination groups
+    when the scenario plane detects a nested-deployment chain.
+    """
+    pairs = list(pairs)
+    per_step = rollout_happiness_counts(
+        topology, pairs, deployments, model, attack=attack
+    )
+    return [
+        [
+            AttackHappiness(
+                attacker=m,
+                destination=d,
+                happy_lower=lower,
+                happy_upper=upper,
+                num_sources=num_sources,
+            )
+            for (m, d), (lower, upper, num_sources) in zip(pairs, counts)
+        ]
+        for counts in per_step
     ]
 
 

@@ -1011,6 +1011,7 @@ class DestinationSweep:
         "model",
         "attack",
         "_dest_i",
+        "_root_att",
         "_dest_signed",
         "_last_res",
         "_signing",
@@ -1026,8 +1027,7 @@ class DestinationSweep:
         "_b_endpoint",
         "_b_nhops",
         "_b_counts",
-        "_dep_start",
-        "_dep_node",
+        "_dep",
         "_dirty",
     )
 
@@ -1048,53 +1048,65 @@ class DestinationSweep:
         self._last_res = DEFAULT_RESOLVED
         dest_i, _ = ctx._check_pair(destination, None)
         self._dest_i = dest_i
+        try:
+            self._root_att
+        except AttributeError:
+            #: index of an attacker rooted *in the baseline itself* (-1
+            #: for the normal attacker-free baseline; ``_AttackerChain``
+            #: assigns its attacker before delegating here).
+            self._root_att = -1
         signing, ranking = ctx.deployment_masks(deployment)
         self._signing = signing
         self._ranking = ranking
         self._dest_signed = bool(signing[dest_i])
-        # The attacker-free fixing pass, run exactly once per sweep.
-        ctx._run(dest_i, -1, signing, ranking, model)
+        # The baseline fixing pass, run exactly once per sweep.
+        self._run_baseline()
+        self._take_baseline()
+        self._dirty = bytearray(ctx.n)
+        ctx._sweep_owner = weakref.ref(self)
+
+    def _run_baseline(self) -> None:
+        """Run the sweep's baseline fixing pass into the scratch buffers
+        (attacker-free here; the rollout attacker-chain walker overrides
+        this to root its attacker)."""
+        self.ctx._run(
+            self._dest_i, -1, self._signing, self._ranking, self.model
+        )
+
+    def _take_baseline(self) -> None:
+        """Snapshot the scratch buffers as this sweep's baseline and
+        (re)build the reverse-dependency lists over its next-hop sets.
+
+        The baselines are mutable (bytearrays/lists) so the rollout
+        advance (:class:`RolloutSweep`) can commit a delta in place;
+        a plain :class:`DestinationSweep` never mutates them.
+        """
+        ctx = self.ctx
         n = ctx.n
-        self._b_fixed = bytes(ctx._fixed)
+        self._b_fixed = bytearray(ctx._fixed)
         self._b_key = list(ctx._key)
-        self._b_cls = bytes(ctx._cls)
+        self._b_cls = bytearray(ctx._cls)
         self._b_len = list(ctx._len)
-        self._b_reach = bytes(ctx._reach)
-        self._b_wire = bytes(ctx._wire)
-        self._b_sec = bytes(ctx._sec)
+        self._b_reach = bytearray(ctx._reach)
+        self._b_wire = bytearray(ctx._wire)
+        self._b_sec = bytearray(ctx._sec)
         self._b_choice = list(ctx._choice)
-        self._b_endpoint = bytes(ctx._endpoint)
+        self._b_endpoint = bytearray(ctx._endpoint)
         # Inner next-hop lists are shared with the scratch arrays; the
         # delta pass never mutates a restored list (every mutation path
         # starts with a reset to None followed by a fresh list), which is
         # the same contract _snapshot relies on.
         self._b_nhops = list(ctx._nhops)
         self._b_counts = ctx._last_counts
-        # Reverse-dependency CSR over the baseline next-hop sets: node
-        # u's slice lists every v whose baseline BPR set contains u.
+        # Reverse-dependency lists over the baseline next-hop sets:
+        # ``dep[u]`` holds every v whose baseline BPR set contains u.
         # Built once per destination, amortized over all its attackers.
-        counts = [0] * n
-        for h in self._b_nhops:
-            if h:
-                for u in h:
-                    counts[u] += 1
-        dep_start = array("l", [0] * (n + 1))
-        total = 0
-        for i in range(n):
-            dep_start[i] = total
-            total += counts[i]
-        dep_start[n] = total
-        dep_node = array("l", [0] * total)
-        cursor = dep_start.tolist()
+        dep: list[list[int]] = [[] for _ in range(n)]
         for v, h in enumerate(self._b_nhops):
             if h:
                 for u in h:
-                    dep_node[cursor[u]] = v
-                    cursor[u] += 1
-        self._dep_start = dep_start
-        self._dep_node = dep_node
-        self._dirty = bytearray(n)
-        ctx._sweep_owner = weakref.ref(self)
+                    dep[u].append(v)
+        self._dep = dep
 
     # ------------------------------------------------------------------
     @property
@@ -1206,12 +1218,27 @@ class DestinationSweep:
             nhops[x] = b_nhops[x]
             dirty[x] = 0
 
-    def _delta(self, att_i: int) -> tuple[tuple[int, int, int, int, int, int], list[int]]:
-        """Delta re-fix for one attacker.
+    def _delta(
+        self, att_i: int, extra_resets: Sequence[int] | None = None
+    ) -> tuple[tuple[int, int, int, int, int, int], list[int]]:
+        """Delta re-fix for one attacker, or a deployment advance.
 
-        Leaves the scratch buffers holding the attack's stable state and
-        returns ``(counts, touched)``; the caller must :meth:`_restore`
-        ``touched`` before the next delta.
+        Two modes share the pass:
+
+        * **attacker delta** (``extra_resets is None``): root ``att_i``'s
+          claimed announcement into the attacker-free baseline (steps
+          1-5 below);
+        * **deployment advance** (``extra_resets`` given — the newly-
+          secured indices, after :class:`RolloutSweep` flipped their
+          bits in the signing/ranking masks): void the seeds' closures
+          instead; ``att_i`` then names an attacker *already rooted in
+          the baseline* (-1 for the attacker-free baseline) so the
+          boundary collection keeps offering its claimed path.
+
+        Leaves the scratch buffers holding the re-fixed stable state and
+        returns ``(counts, touched)``; the caller must either
+        :meth:`_restore` ``touched`` (attacker deltas) or commit it as
+        the new baseline (rollout advances) before the next delta.
         """
         ctx = self.ctx
         dest_i = self._dest_i
@@ -1229,8 +1256,7 @@ class DestinationSweep:
         signing = self._signing
         ranking = self._ranking
         dirty = self._dirty
-        dep_start = self._dep_start
-        dep_node = self._dep_node
+        dep = self._dep
         model = self.model
         coeffs = model.packed_coeffs()
         if coeffs is not None:
@@ -1241,27 +1267,46 @@ class DestinationSweep:
             key_fn = model.packed_key
         uses_sec = model.uses_security
         dest_signed = 1 if signing[dest_i] else 0
-        # Resolve the attacker strategy for this pair.  The snapshot
-        # arrays hold the attacker-free state, so needs_baseline
-        # strategies read the attacker's legitimate record for free.
-        attack = self.attack
-        baseline = None
-        if attack.needs_baseline:
-            baseline = AttackerBaseline(
-                has_route=bool(self._b_fixed[att_i]),
-                length=self._b_len[att_i],
-                wire_secure=bool(self._b_wire[att_i]),
-            )
-        res = attack.resolve(dest_signed=self._dest_signed, baseline=baseline)
-        self._last_res = res
-        att_active = res.active
-        att_ln = res.length + 1  # length as ranked by the attacker's neighbors
-        att_wire = 1 if res.wire else 0
-        att_exp = res.export_all
+        advance = extra_resets is not None
+        if att_i >= 0:
+            if advance:
+                # The attacker is already rooted in the baseline; its
+                # resolution was fixed when the chain walker built it.
+                res = self._last_res
+            else:
+                # Resolve the attacker strategy for this pair.  The
+                # snapshot arrays hold the attacker-free state, so
+                # needs_baseline strategies read the attacker's
+                # legitimate record for free.
+                attack = self.attack
+                baseline = None
+                if attack.needs_baseline:
+                    baseline = AttackerBaseline(
+                        has_route=bool(self._b_fixed[att_i]),
+                        length=self._b_len[att_i],
+                        wire_secure=bool(self._b_wire[att_i]),
+                    )
+                res = attack.resolve(
+                    dest_signed=self._dest_signed, baseline=baseline
+                )
+                self._last_res = res
+            att_active = res.active
+            att_ln = res.length + 1  # length ranked by the attacker's neighbors
+            att_wire = 1 if res.wire else 0
+            att_exp = res.export_all
+        else:
+            res = None
+            att_active = False
+            att_ln = att_wire = 0
+            att_exp = False
         heap: list[int] = []
         push = heapq.heappush
         pop = heapq.heappop
         touched: list[int] = []
+        #: clean nodes whose BPR set was *pruned* (``dirty == 2``): their
+        #: key/class/length/wire are untouched, so only reach/choice/
+        #: endpoint need the soft recompute at the end.
+        soft_prunes: list[int] = []
 
         # Inner helpers bind the hot arrays as default arguments: the
         # delta pass calls them thousands of times per attacker, and the
@@ -1273,12 +1318,28 @@ class DestinationSweep:
             fixed=fixed,
             key_l=key_l,
             sec_b=sec_b,
+            wire_b=wire_b,
             nhops=nhops,
-            dep_start=dep_start,
-            dep_node=dep_node,
+            dep=dep,
+            signing=signing,
+            soft_prunes=soft_prunes,
         ) -> list[int]:
-            """Mark ``w`` and every baseline dependent dirty and reset
-            their scratch entries; returns the newly reset nodes.
+            """Hard-reset ``w`` and the part of its baseline dependency
+            closure whose records cannot survive; returns the newly
+            (hard-)reset nodes.
+
+            A dependent that keeps at least one live BPR member does
+            *not* need the hard reset: all members tie on the rank key,
+            so its key/class/length/wire are intact and only its reach/
+            choice/endpoint can shift — it is *pruned* instead (the dead
+            members are dropped, ``dirty = 2``) and recomputed by the
+            soft phase, exactly like a deferred knife-edge tie.  The one
+            exception is a prune that would flip the node's wire
+            security (every surviving offer signed where the old mix was
+            not, at a signing node): that changes what it offers
+            downstream, so it is hard-reset after all.  Mixed-wire BPR
+            sets only exist where the rank key ignores the security bit,
+            so the surviving-member scan is exact, not heuristic.
 
             Only the fields the re-fix actually relies on are reset:
             ``fixed``/``key`` drive the pass, ``nhops`` must be None for
@@ -1291,18 +1352,56 @@ class DestinationSweep:
             resets: list[int] = []
             while stack:
                 x = stack.pop()
-                if dirty[x]:
+                was = dirty[x]
+                if was == 1:
                     continue
                 dirty[x] = 1
-                touched.append(x)
+                if not was:
+                    touched.append(x)
                 resets.append(x)
                 fixed[x] = 0
                 key_l[x] = _INF
                 sec_b[x] = 0
                 nhops[x] = None
-                for y in dep_node[dep_start[x] : dep_start[x + 1]]:
-                    if not dirty[y]:
+                for y in dep[x]:
+                    if dirty[y] == 1 or not fixed[y]:
+                        continue
+                    h = nhops[y]
+                    if h is None:
+                        continue
+                    if len(h) == 1:
+                        # Singleton BPR set (the common case): either
+                        # its only member just died (hard reset) or this
+                        # is a stale dependency entry (rollout chains).
+                        if dirty[h[0]] == 1:
+                            stack.append(y)
+                        continue
+                    live = 0
+                    for u in h:
+                        if dirty[u] != 1:
+                            live += 1
+                    if not live:
                         stack.append(y)
+                        continue
+                    if live == len(h):
+                        continue  # stale dependency entry (rollout chains)
+                    keep = [u for u in h if dirty[u] != 1]
+                    if (
+                        signing[y]
+                        and not wire_b[y]
+                        and all(wire_b[u] for u in keep)
+                    ):
+                        # Pruning the insecure members would flip y's
+                        # wire security — a record change after all.
+                        stack.append(y)
+                        continue
+                    if not dirty[y]:
+                        dirty[y] = 2
+                        touched.append(y)
+                        soft_prunes.append(y)
+                    # Copy-on-write: the baseline inner list is shared
+                    # with the snapshot and must stay pristine.
+                    nhops[y] = keep
             return resets
 
         def gather(
@@ -1493,68 +1592,88 @@ class DestinationSweep:
         # re-fixing the node's whole dependency closure.
         ties: list[tuple[int, int]] = []
 
-        # Step 1: void the attacker's own record and everything whose
-        # baseline best routes pass through it.
-        resets0 = reset_closure(att_i)
-        # Step 2: the attacker becomes a root announcing its claimed
-        # path as the strategy resolved it (the paper default: the
-        # bogus one-hop path "m d" via legacy BGP).
-        fixed[att_i] = 1
-        len_l[att_i] = res.length
-        reach_b[att_i] = 2 if att_active else 0
-        endp_b[att_i] = 2 if att_active else 0
-        wire_b[att_i] = att_wire
-        choice_l[att_i] = -1
-        # Step 3: the claimed announcement reaches every neighbor in the
-        # strategy's export scope (default: all of them — legacy BGP
-        # lets the lie flow everywhere, since the claimed path looks
-        # like a customer route the attacker may export to anyone).
-        pending: list[int] = []
-        if att_active:
-            for e in edges[att_i]:
-                if not (att_exp or (e & 1)):
-                    continue  # outside the export scope (non-customer)
-                w = e >> 3
-                if dirty[w]:
-                    continue  # reset in step 1; gather() delivers the offer
-                vcls = (e >> 1) & 3
-                if key_fn is None:
-                    k = vcls * cm + att_ln * lm + (
-                        0 if (att_wire and ranking[w]) else sm
-                    )
-                else:
-                    k = key_fn(
-                        RouteClass(vcls), att_ln, bool(att_wire and ranking[w])
-                    )
-                if fixed[w]:
-                    if w == dest_i:
+        if not advance:
+            # Step 1: void the attacker's own record and everything whose
+            # baseline best routes pass through it.
+            resets0 = reset_closure(att_i)
+            # Step 2: the attacker becomes a root announcing its claimed
+            # path as the strategy resolved it (the paper default: the
+            # bogus one-hop path "m d" via legacy BGP).
+            fixed[att_i] = 1
+            len_l[att_i] = res.length
+            reach_b[att_i] = 2 if att_active else 0
+            endp_b[att_i] = 2 if att_active else 0
+            wire_b[att_i] = att_wire
+            choice_l[att_i] = -1
+            # Step 3: the claimed announcement reaches every neighbor in
+            # the strategy's export scope (default: all of them — legacy
+            # BGP lets the lie flow everywhere, since the claimed path
+            # looks like a customer route the attacker may export to
+            # anyone).
+            pending: list[int] = []
+            if att_active:
+                for e in edges[att_i]:
+                    if not (att_exp or (e & 1)):
+                        continue  # outside the export scope (non-customer)
+                    w = e >> 3
+                    if dirty[w] == 1:
+                        continue  # reset in step 1; gather() delivers it
+                    vcls = (e >> 1) & 3
+                    if key_fn is None:
+                        k = vcls * cm + att_ln * lm + (
+                            0 if (att_wire and ranking[w]) else sm
+                        )
+                    else:
+                        k = key_fn(
+                            RouteClass(vcls), att_ln, bool(att_wire and ranking[w])
+                        )
+                    if fixed[w]:
+                        if w == dest_i:
+                            continue
+                        cur = key_l[w]
+                        if k < cur or (k == cur and not att_wire and wire_b[w]):
+                            pending.append(w)
+                        elif k == cur:
+                            ties.append((w, att_i))
                         continue
+                    # Unreachable under normal conditions: first offer.
                     cur = key_l[w]
-                    if k < cur or (k == cur and not att_wire and wire_b[w]):
-                        pending.append(w)
-                    elif k == cur:
-                        ties.append((w, att_i))
-                    continue
-                # Unreachable under normal conditions: first offer ever.
-                cur = key_l[w]
-                if k < cur:
-                    key_l[w] = k
-                    cls_b[w] = vcls
-                    len_l[w] = att_ln
-                    reach_b[w] = 2
-                    wire_b[w] = att_wire
-                    nhops[w] = [att_i]
-                    push(heap, (k << PACK_SHIFT) | w)
-        # Step 4: boundary offers for the step-1 resets (the attacker is
-        # fixed now, so the collection includes the bogus offer exactly
-        # once).
-        for x in resets0:
-            if x != att_i:
+                    if k < cur:
+                        key_l[w] = k
+                        cls_b[w] = vcls
+                        len_l[w] = att_ln
+                        reach_b[w] = 2
+                        wire_b[w] = att_wire
+                        nhops[w] = [att_i]
+                        push(heap, (k << PACK_SHIFT) | w)
+            # Step 4: boundary offers for the step-1 resets (the attacker
+            # is fixed now, so the collection includes the bogus offer
+            # exactly once).
+            for x in resets0:
+                if x != att_i:
+                    gather(x)
+            # Step 5: neighbors whose baseline route loses to the bogus
+            # one.
+            for w in pending:
+                if dirty[w] != 1:
+                    invalidate(w)
+        else:
+            # Rollout advance: the newly-secured ASes are the only nodes
+            # whose rank inputs changed (their ranking bit lowers the
+            # keys they assign, their signing bit what they re-announce).
+            # Void them and their dependency closures first, then collect
+            # boundary offers under the already-updated masks; everything
+            # further out is discovered by the same boundary-invalidation
+            # machinery the attacker delta uses.  Roots (the destination
+            # and, on attacker chains, the rooted attacker) never seed:
+            # their announcements do not depend on their secure bits
+            # (the destination's own signing flip rebuilds the sweep).
+            resets0 = []
+            for v in extra_resets:
+                if dirty[v] != 1:
+                    resets0.extend(reset_closure(v))
+            for x in resets0:
                 gather(x)
-        # Step 5: neighbors whose baseline route loses to the bogus one.
-        for w in pending:
-            if not dirty[w]:
-                invalidate(w)
 
         # Step 6: the delta fixing pass, clean fixed nodes acting as a
         # frozen boundary whose re-offers were collected above.
@@ -1589,14 +1708,14 @@ class DestinationSweep:
                 if fixed[w]:
                     # Boundary edge into the fixed region.  Re-fixed
                     # (dirty) targets and roots never need another look;
-                    # a clean target is invalidated when the re-fixed
-                    # route beats its baseline key or ties it while
-                    # flipping its wire security (deferred so this
-                    # relaxation finishes first — the re-collection then
-                    # delivers v's offer exactly once).  An exact tie
-                    # that preserves wire security only widens the
+                    # a clean or soft-pruned target is invalidated when
+                    # the re-fixed route beats its baseline key or ties
+                    # it while flipping its wire security (deferred so
+                    # this relaxation finishes first — the re-collection
+                    # then delivers v's offer exactly once).  An exact
+                    # tie that preserves wire security only widens the
                     # target's knife edge: record it for the soft phase.
-                    if dirty[w] or w == dest_i or w == att_i:
+                    if dirty[w] == 1 or w == dest_i or w == att_i:
                         continue
                     vcls = (e >> 1) & 3
                     if key_fn is None:
@@ -1639,18 +1758,20 @@ class DestinationSweep:
                         wire_b[w] = 0
             if deferred is not None:
                 for w in deferred:
-                    if not dirty[w]:
+                    if dirty[w] != 1:
                         invalidate(w)
 
-        # Step 7 (soft phase): apply the deferred knife-edge ties.  Each
-        # tie adds one member to a clean node's BPR set — its key, class,
-        # length and wire security are untouched, so nothing it offers
-        # changes; only reach, choice and endpoint can shift, and those
-        # flow strictly upward in rank key through BPR membership.  The
+        # Step 7 (soft phase): apply the deferred knife-edge ties and
+        # recompute the pruned nodes.  Each tie adds one member to a
+        # clean node's BPR set, each prune removed members whose records
+        # were voided — either way the node's key, class, length and
+        # wire security are untouched, so nothing it offers changes;
+        # only reach, choice and endpoint can shift, and those flow
+        # strictly upward in rank key through BPR membership.  The
         # worklist recomputes affected nodes in increasing key order:
-        # clean consumers come from the baseline dependency CSR, re-fixed
-        # consumers from the new BPR sets of this pass.
-        if ties:
+        # clean consumers come from the baseline dependency lists,
+        # re-fixed consumers from the new BPR sets of this pass.
+        if ties or soft_prunes:
             cons: dict[int, list[int]] = {}
             for v in touched:
                 if fixed[v] and dirty[v] == 1 and v != att_i:
@@ -1661,6 +1782,9 @@ class DestinationSweep:
                         else:
                             lst.append(v)
             work: list[int] = []
+            for w in soft_prunes:
+                if dirty[w] == 2:  # not promoted to a hard reset later
+                    push(work, (key_l[w] << PACK_SHIFT) | w)
             for w, u in ties:
                 if dirty[w] == 1:
                     continue  # hard-invalidated later; tie re-collected
@@ -1676,10 +1800,12 @@ class DestinationSweep:
             while work:
                 x = pop(work) & _IDX_MASK
                 nh = nhops[x]
+                if nh is None:
+                    continue  # promoted to a hard reset after enqueue
                 r = 0
-                for u in nh:  # type: ignore[union-attr]
+                for u in nh:
                     r |= reach_b[u]
-                ch = nh[0] if len(nh) == 1 else min(nh)  # type: ignore[index, arg-type]
+                ch = nh[0] if len(nh) == 1 else min(nh)
                 ep = endp_b[ch]
                 if (
                     r == reach_b[x]
@@ -1693,8 +1819,7 @@ class DestinationSweep:
                 reach_b[x] = r
                 choice_l[x] = ch
                 endp_b[x] = ep
-                for j in range(dep_start[x], dep_start[x + 1]):
-                    y = dep_node[j]
+                for y in dep[x]:
                     if dirty[y] != 1 and fixed[y]:
                         push(work, (key_l[y] << PACK_SHIFT) | y)
                 lst = cons.get(x)
@@ -1702,16 +1827,28 @@ class DestinationSweep:
                     for y in lst:
                         push(work, (key_l[y] << PACK_SHIFT) | y)
 
-        # O(touched) count update: start from the attacker-free counts,
-        # swap out each touched node's baseline contribution for its new
-        # one.  Baseline reach is always DEST, and roots never count.
+        # O(touched) count update: start from the baseline counts, swap
+        # out each touched node's baseline contribution for its new one.
+        # Roots never count: the attacker-delta's root *was* a source in
+        # the attacker-free baseline (its contribution is swapped out),
+        # while a chain baseline's rooted attacker never contributed.
         lo, up, alo, aup, sec_n, nfx = self._b_counts
         b_fixed = self._b_fixed
+        b_reach = self._b_reach
         b_sec = self._b_sec
+        root_att = self._root_att
         for x in touched:
-            if b_fixed[x]:
-                lo -= 1
-                up -= 1
+            if x != root_att and b_fixed[x]:
+                r = b_reach[x]
+                if r == 1:
+                    lo -= 1
+                    up -= 1
+                elif r == 2:
+                    alo -= 1
+                    aup -= 1
+                else:
+                    up -= 1
+                    aup -= 1
                 sec_n -= b_sec[x]
                 nfx -= 1
             if x != att_i and fixed[x]:
@@ -1728,6 +1865,421 @@ class DestinationSweep:
                 sec_n += sec_b[x]
                 nfx += 1
         return (lo, up, alo, aup, sec_n, nfx), touched
+
+
+# ----------------------------------------------------------------------
+# Rollout-major sweeps over nested-deployment chains
+# ----------------------------------------------------------------------
+class RolloutSweep(DestinationSweep):
+    """A :class:`DestinationSweep` that walks a *nested-deployment
+    chain* ``S_0 ⊆ S_1 ⊆ … ⊆ S_T`` for one destination.
+
+    The paper's rollout figures (7a/7b/8/11) — and the far larger
+    deployment-ordering sweeps of follow-up work — evaluate the same
+    attacker set against the same destination under a chain of growing
+    deployments.  A fresh sweep per step pays a full attacker-free
+    fixing pass, snapshot and dependency build every time, although
+    adjacent steps differ by a handful of newly-secured ASes.
+    :meth:`advance` instead re-fixes only the region whose routing
+    records can change when those ASes flip their secure bits — their
+    ranking bit lowers the keys they assign, their signing bit upgrades
+    what they re-announce — using the same boundary-invalidation and
+    knife-edge-tie machinery as the attacker delta, and then *commits*
+    the touched entries into the baseline snapshot instead of restoring
+    them.
+
+    Two further chain-structure savings stack on top:
+
+    * the reverse-dependency lists are patched (append-only) for the
+      committed entries instead of being rebuilt per step — stale
+      entries only ever cause a harmless extra reset;
+    * per-attacker results are memoized across steps: an attacker delta
+      reads baseline records only inside its touched region and that
+      region's neighborhood, so when an advance leaves that region
+      untouched the attacker's counts simply shift with the baseline
+      counts (``counts_t − baseline_t`` is invariant) and the delta is
+      skipped entirely.
+
+    Chains must be nested *per membership mode*: both the ranking set
+    (``full``) and the signing set (``full ∪ simplex``) may only grow
+    (a simplex→full promotion is allowed).  :meth:`advance` raises
+    ``ValueError`` otherwise.  Results are bit-identical to building a
+    fresh sweep per step, which is what the differential tests enforce.
+
+    Example:
+        Walking a chain reuses the converged arrays between steps and
+        matches fresh per-step sweeps exactly:
+
+        >>> from repro.topology.graph import ASGraph
+        >>> g = ASGraph()
+        >>> for customer, provider in [(2, 1), (3, 1), (4, 2), (5, 3)]:
+        ...     g.add_customer_provider(customer, provider)
+        >>> chain = [Deployment.empty(), Deployment.of([1, 2]),
+        ...          Deployment.of([1, 2, 3, 4])]
+        >>> sweep = RolloutSweep(g, destination=4, deployment=chain[0])
+        >>> walked = [sweep.happiness_counts(5)]
+        >>> for step in chain[1:]:
+        ...     sweep.advance(step)
+        ...     walked.append(sweep.happiness_counts(5))
+        >>> fresh = [DestinationSweep(g, 4, s).happiness_counts(5)
+        ...          for s in chain]
+        >>> walked == fresh
+        True
+    """
+
+    __slots__ = ("_memo", "_dep_slack")
+
+    def __init__(
+        self,
+        topology: ASGraph | RoutingContext,
+        destination: int,
+        deployment: Deployment | None = None,
+        model: RankModel = BASELINE,
+        attack: AttackStrategy = DEFAULT_ATTACK,
+    ) -> None:
+        super().__init__(topology, destination, deployment, model, attack)
+        # Private mutable masks: the parent's come from the context's
+        # per-deployment cache (and may even be its shared zero mask),
+        # so advancing in place would poison other computations.
+        self._signing = bytearray(self._signing)
+        self._ranking = bytearray(self._ranking)
+        #: attacker index → (read region, counts delta vs baseline).
+        self._memo: dict[int, tuple[frozenset[int], tuple[int, int]]] = {}
+        #: dep entries appended since the last exact (re)build; commits
+        #: trigger a rebuild once this exceeds n, bounding staleness.
+        self._dep_slack = 0
+
+    def advance(self, deployment: Deployment) -> None:
+        """Move the sweep's baseline to the next chain step in place."""
+        old = self.deployment
+        old_signing = old.full | old.simplex
+        new_signing = deployment.full | deployment.simplex
+        if not (old.full <= deployment.full and old_signing <= new_signing):
+            raise ValueError(
+                "rollout chains must be nested: both the full set and "
+                "the signing set may only grow between steps"
+            )
+        ranking_gain = deployment.full - old.full
+        signing_gain = new_signing - old_signing
+        self.deployment = deployment
+        if self.destination in signing_gain:
+            # The destination's own origin signing flips: the root's
+            # announcement changes, so every record is suspect — rebuild
+            # from a full fixing pass (rare: once per chain at most).
+            self._rebuild()
+            return
+        get = self.ctx.index_of.get
+        dest_i = self._dest_i
+        root_att = self._root_att
+        # Roots never seed a reset: their records ignore offers and
+        # their secure bits are never read (the destination's ranking
+        # bit is only consulted for offers *to* it, which roots discard;
+        # a rooted attacker announces its resolved claim regardless of
+        # its own membership — the paper's attacker ignores protocol).
+        seeds = sorted(
+            {
+                i
+                for asn in ranking_gain | signing_gain
+                if (i := get(asn)) is not None
+                and i != dest_i
+                and i != root_att
+            }
+        )
+        self._ensure_scratch()
+        signing = self._signing
+        ranking = self._ranking
+        for asn in signing_gain:
+            i = get(asn)
+            if i is not None:
+                signing[i] = 1
+        for asn in ranking_gain:
+            i = get(asn)
+            if i is not None:
+                ranking[i] = 1
+                signing[i] = 1
+        if not seeds:
+            return
+        counts, touched = self._delta(self._root_att, extra_resets=seeds)
+        self._commit(counts, touched, seeds)
+
+    def _rebuild(self) -> None:
+        """Full re-fix fallback (destination signing flipped)."""
+        ctx = self.ctx
+        signing, ranking = ctx.deployment_masks(self.deployment)
+        self._signing = bytearray(signing)
+        self._ranking = bytearray(ranking)
+        self._dest_signed = bool(signing[self._dest_i])
+        self._run_baseline()
+        self._take_baseline()
+        self._memo.clear()
+        self._dep_slack = 0
+        ctx._sweep_owner = weakref.ref(self)
+
+    def _commit(
+        self,
+        counts: tuple[int, int, int, int, int, int],
+        touched: list[int],
+        seeds: Sequence[int],
+    ) -> None:
+        """Adopt the advance's re-fixed state as the new baseline."""
+        ctx = self.ctx
+        fixed = ctx._fixed
+        key_l = ctx._key
+        cls_b = ctx._cls
+        len_l = ctx._len
+        reach_b = ctx._reach
+        wire_b = ctx._wire
+        sec_b = ctx._sec
+        choice_l = ctx._choice
+        endp_b = ctx._endpoint
+        nhops = ctx._nhops
+        b_fixed = self._b_fixed
+        b_key = self._b_key
+        b_cls = self._b_cls
+        b_len = self._b_len
+        b_reach = self._b_reach
+        b_wire = self._b_wire
+        b_sec = self._b_sec
+        b_choice = self._b_choice
+        b_endp = self._b_endpoint
+        b_nhops = self._b_nhops
+        dep = self._dep
+        dirty = self._dirty
+        appended = 0
+        for x in touched:
+            b_fixed[x] = fixed[x]
+            b_key[x] = key_l[x]
+            b_cls[x] = cls_b[x]
+            b_len[x] = len_l[x]
+            b_reach[x] = reach_b[x]
+            b_wire[x] = wire_b[x]
+            b_sec[x] = sec_b[x]
+            b_choice[x] = choice_l[x]
+            b_endp[x] = endp_b[x]
+            old = b_nhops[x]
+            h = nhops[x]
+            b_nhops[x] = h
+            dirty[x] = 0
+            if h is not None and fixed[x]:
+                # Append-only dependency patch: entries for dropped
+                # memberships go stale, and re-appearing memberships
+                # duplicate — both at worst re-reset a node whose record
+                # would have survived, never incorrect.  Only genuinely
+                # new-vs-the-replaced-record memberships are appended,
+                # and the periodic rebuild below bounds the accumulated
+                # slack on long chains.
+                for u in h:
+                    if old is None or u not in old:
+                        dep[u].append(x)
+                        appended += 1
+        self._b_counts = counts
+        self._dep_slack += appended
+        if self._dep_slack > ctx.n:
+            # Stale and duplicated entries only cost harmless extra
+            # resets, but on a long chain they would accumulate; one
+            # linear rebuild per ~n appended entries keeps every dep
+            # list exact at amortized O(1) per commit.
+            fresh: list[list[int]] = [[] for _ in range(ctx.n)]
+            for v, h in enumerate(b_nhops):
+                if h:
+                    for u in h:
+                        fresh[u].append(v)
+            self._dep = fresh
+            self._dep_slack = 0
+        if self._memo:
+            changed = set(touched)
+            changed.update(seeds)
+            self._memo = {
+                a: entry
+                for a, entry in self._memo.items()
+                if entry[0].isdisjoint(changed)
+            }
+
+    def happiness_counts(self, attacker: int) -> tuple[int, int, int]:
+        """``(happy_lower, happy_upper, num_sources)``, memoized across
+        chain steps when the attacker's read region survived the last
+        advance untouched."""
+        att_i = self._attacker_index(attacker)
+        b = self._b_counts
+        entry = self._memo.get(att_i)
+        if entry is not None:
+            d_lo, d_up = entry[1]
+            return b[0] + d_lo, b[1] + d_up, self.ctx.n - 2
+        counts, touched = self._delta(att_i)
+        # The delta read baseline records only at touched nodes and
+        # their neighbors (gather sources and boundary targets), so that
+        # region is the memo's validity certificate.  Tracking it only
+        # pays when the region is small — which is also exactly when the
+        # next advance is likely to miss it.
+        if len(touched) <= self.ctx.n >> 3:
+            region = set(touched)
+            edges = self.ctx._edges
+            for x in touched:
+                for e in edges[x]:
+                    region.add(e >> 3)
+            self._memo[att_i] = (
+                frozenset(region),
+                (counts[0] - b[0], counts[1] - b[1]),
+            )
+        self._restore(touched)
+        return counts[0], counts[1], self.ctx.n - 2
+
+
+class _AttackerChain(RolloutSweep):
+    """A rollout chain whose baseline *is* one attacker's stable state.
+
+    When a destination group has only a few attackers, re-running each
+    attacker's delta at every chain step costs a blast-radius-sized
+    re-fix per (attacker, step) — at low deployment levels that is as
+    expensive as a full fixing pass, so the shared-baseline walk saves
+    nothing.  This walker instead roots the attacker *into* the chain
+    baseline: one full attacked pass at ``S_0``, then each step is a
+    single ``O(changed)`` advance of the attacked state, and the step's
+    counts are simply the committed baseline counts.
+
+    Only valid for strategies whose resolution is step-stable: a
+    ``needs_baseline`` strategy (e.g. ``honest``) re-resolves against
+    the attacker-free state of *each* deployment, which this walker does
+    not maintain.  The destination's own signing flip re-resolves and
+    rebuilds (via :meth:`RolloutSweep._rebuild` → :meth:`_run_baseline`).
+    """
+
+    __slots__ = ()
+
+    def __init__(
+        self,
+        topology: ASGraph | RoutingContext,
+        destination: int,
+        attacker: int,
+        deployment: Deployment | None = None,
+        model: RankModel = BASELINE,
+        attack: AttackStrategy = DEFAULT_ATTACK,
+    ) -> None:
+        if attack.needs_baseline:
+            raise ValueError(
+                f"attacker-chain walking needs a step-stable resolution; "
+                f"strategy {attack.token!r} resolves against the "
+                f"attacker-free baseline of every step"
+            )
+        ctx = _as_context(topology)
+        _, att_i = ctx._check_pair(destination, attacker)
+        self._root_att = att_i
+        super().__init__(ctx, destination, deployment, model, attack)
+
+    def _run_baseline(self) -> None:
+        ctx = self.ctx
+        att_i = self._root_att
+        res = ctx._resolve_attack(
+            self._dest_i, att_i, self._signing, self._ranking,
+            self.model, self.attack,
+        )
+        self._last_res = res
+        ctx._run(
+            self._dest_i, att_i, self._signing, self._ranking,
+            self.model, res,
+        )
+
+    def step_counts(self) -> tuple[int, int, int]:
+        """``(happy_lower, happy_upper, num_sources)`` at the current
+        chain step — just the committed baseline counts."""
+        b = self._b_counts
+        return b[0], b[1], self.ctx.n - 2
+
+
+#: Destination groups with at most this many attackers walk per-attacker
+#: :class:`_AttackerChain`\ s instead of the shared-baseline delta walk:
+#: below it, one full attacked pass plus cheap advances beats paying the
+#: attack's blast radius again at every step.
+_ATTACKER_CHAIN_MAX = 3
+
+
+def rollout_happiness_counts(
+    topology: ASGraph | RoutingContext,
+    pairs: Sequence[tuple[int | None, int]],
+    deployments: Sequence[Deployment],
+    model: RankModel = BASELINE,
+    *,
+    attack: AttackStrategy = DEFAULT_ATTACK,
+) -> list[list[tuple[int, int, int]]]:
+    """``(happy_lower, happy_upper, num_sources)`` per pair, per chain
+    step: ``result[t][i]`` is pair ``i`` evaluated under
+    ``deployments[t]``.
+
+    The rollout-major fast path behind the scenario scheduler's chain
+    evaluation.  Pairs are grouped by destination and each destination
+    walks the whole chain with warm state — ``deployments`` must be
+    nested (``S_t ⊑ S_{t+1}`` per membership mode).  Two walkers cover
+    the workload's two shapes:
+
+    * **few attackers** (the paper's rollout sampling: ``≤ 3`` per
+      destination, step-stable strategy): one :class:`_AttackerChain`
+      per attacker — a full attacked pass at ``S_0``, then a single
+      ``O(changed)`` advance per step;
+    * **many attackers**: one shared :class:`RolloutSweep` — the
+      attacker-free baseline advances per step, each attacker pays an
+      ``O(dirty)`` delta per step, and cross-step memo hits skip
+      attackers whose read region the advance missed.
+
+    Results per step are in input pair order and bit-identical to
+    evaluating each step independently via
+    :func:`batch_happiness_counts`.
+    """
+    ctx = _as_context(topology)
+    deployments = list(deployments)
+    pairs = list(pairs)
+    n = ctx.n
+    out: list[list[tuple[int, int, int] | None]] = [
+        [None] * len(pairs) for _ in deployments
+    ]
+    groups: dict[int, list[int]] = {}
+    for i, (_m, d) in enumerate(pairs):
+        groups.setdefault(d, []).append(i)
+    for d, idxs in groups.items():
+        attackers = list(
+            dict.fromkeys(
+                pairs[i][0] for i in idxs if pairs[i][0] is not None
+            )
+        )
+        if 0 < len(attackers) <= _ATTACKER_CHAIN_MAX and not attack.needs_baseline:
+            chains: dict[int, _AttackerChain] = {
+                m: _AttackerChain(
+                    ctx, d, m, deployments[0], model, attack=attack
+                )
+                for m in attackers
+            }
+            base = (
+                RolloutSweep(ctx, d, deployments[0], model, attack=attack)
+                if any(pairs[i][0] is None for i in idxs)
+                else None
+            )
+            for t, deployment in enumerate(deployments):
+                if t:
+                    for chain in chains.values():
+                        chain.advance(deployment)
+                    if base is not None:
+                        base.advance(deployment)
+                row = out[t]
+                for i in idxs:
+                    m = pairs[i][0]
+                    if m is None:
+                        lo, up = base.baseline_counts()  # type: ignore[union-attr]
+                        row[i] = (lo, up, n - 1)
+                    else:
+                        row[i] = chains[m].step_counts()
+            continue
+        sweep = RolloutSweep(ctx, d, deployments[0], model, attack=attack)
+        for t, deployment in enumerate(deployments):
+            if t:
+                sweep.advance(deployment)
+            row = out[t]
+            for i in idxs:
+                m = pairs[i][0]
+                if m is None:
+                    lo, up = sweep.baseline_counts()
+                    row[i] = (lo, up, n - 1)
+                else:
+                    row[i] = sweep.happiness_counts(m)
+    return out  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------

@@ -16,7 +16,11 @@ repeated runs only evaluate scenarios they have not seen before, and
 run-wide attacker strategy (threat model) — ``hijack`` (the paper's
 Section 3.1 default), ``honest``, ``forged_origin``, or ``khop<k>``.
 Results are stored under strategy-aware scenario hashes, so different
-threat models never collide in the cache.
+threat models never collide in the cache.  ``--no-rollout-major``
+forces step-independent evaluation of nested-deployment chains (the
+default walks them on warm engine state; results are bit-identical);
+``--profile PATH`` dumps cProfile stats of the first evaluated
+scenario.
 """
 
 from __future__ import annotations
@@ -88,6 +92,21 @@ def _common(parser: argparse.ArgumentParser) -> None:
         help="attacker strategy: hijack (default), honest, forged_origin, "
         "or khop<k> (see repro.core.attacks)",
     )
+    parser.add_argument(
+        "--no-rollout-major",
+        action="store_true",
+        help="evaluate every scenario step-independently instead of "
+        "walking nested-deployment chains on warm engine state "
+        "(results are bit-identical; this is the slow path, kept for "
+        "verification and benchmarking)",
+    )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="dump cProfile stats of the first evaluated scenario to "
+        "PATH (and print the top functions)",
+    )
 
 
 def _attack_token(raw: str) -> str:
@@ -132,6 +151,8 @@ def main(argv: list[str] | None = None) -> int:
                 store=store,
                 ixp=args.ixp,
                 attack=args.attack,
+                rollout_major=not args.no_rollout_major,
+                profile_path=args.profile,
             )
         finally:
             if store is not None:
@@ -152,6 +173,8 @@ def main(argv: list[str] | None = None) -> int:
                 trials=args.trials,
                 store=store,
                 attack=args.attack,
+                rollout_major=not args.no_rollout_major,
+                profile_path=args.profile,
             )
         finally:
             if store is not None:

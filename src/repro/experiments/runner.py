@@ -46,6 +46,7 @@ from ..core.metrics import (
     MetricResult,
     _mean_interval,
     batch_happiness,
+    rollout_happiness,
 )
 from ..core.rank import RankModel
 from ..core.routing import RoutingContext
@@ -53,7 +54,7 @@ from ..topology.generate import SyntheticTopology, TopologyParams, generate_topo
 from ..topology.ixp import augment_with_ixp_peering
 from ..topology.tiers import TierTable, classify_tiers
 from .config import DEFAULT_SEED, Scale, get_scale
-from .scenarios import EvalRequest, EvalResults
+from .scenarios import EvalRequest, EvalResults, detect_chains
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .registry import ExperimentResult, ExperimentSpec
@@ -87,6 +88,20 @@ def _metric_chunk_worker(
     )
 
 
+def _metric_chain_worker(
+    ectx: "ExperimentContext", chunk: Sequence[tuple[int, int]], state: dict
+):
+    """Evaluate one task of (m, d) pairs across a whole nested-deployment
+    chain, rollout-major: each destination in the chunk walks every
+    chain step on warm engine state (one converged baseline advanced per
+    step instead of re-fixed from scratch).  Returns per-step lists in
+    chunk pair order."""
+    return rollout_happiness(
+        ectx.graph_ctx, chunk, state["deployments"], state["model"],
+        attack=state["attack"],
+    )
+
+
 def _destination_groups(
     pairs: Sequence[tuple[int | None, int]],
 ) -> list[list[int]]:
@@ -100,6 +115,23 @@ def _destination_groups(
         else:
             existing.append(i)
     return list(groups.values())
+
+
+def _gather_bins(
+    pairs: Sequence[tuple[int, int]],
+    bins: Sequence[Sequence[int]],
+    parts: Sequence[Sequence],
+) -> MetricResult:
+    """Scatter per-bin worker results back into input pair order and
+    average them — the single reassembly behind :meth:`ExperimentContext.metric`
+    and each step of :meth:`ExperimentContext.metric_chain` (parallel
+    must equal serial bit-for-bit)."""
+    flat: list = [None] * len(pairs)
+    for bin_, part in zip(bins, parts):
+        for i, r in zip(bin_, part):
+            flat[i] = r
+    results = tuple(flat)
+    return MetricResult(value=_mean_interval(results), per_pair=results)
 
 
 def _pack_groups(
@@ -162,11 +194,20 @@ class ExperimentContext:
     #: run-wide attacker strategy: the default threat model for every
     #: request declared without an explicit ``attack`` (CLI ``--attack``).
     attack: AttackStrategy = DEFAULT_ATTACK
+    #: evaluate nested-deployment chains rollout-major (the default);
+    #: False forces the step-independent path for every scenario —
+    #: results are bit-identical either way (differential-tested).
+    rollout_major: bool = True
+    #: dump cProfile stats of the first evaluated scenario here (the
+    #: CLI's ``--profile``); None disables profiling.
+    profile_path: str | None = None
     cache: dict = field(default_factory=dict)
-    #: scenarios evaluated through :meth:`metric` (the acceptance
-    #: counter: a warm-store rerun must leave this at zero).
+    #: scenarios evaluated through :meth:`metric` /
+    #: :meth:`metric_chain` (the acceptance counter: a warm-store rerun
+    #: must leave this at zero).
     metric_evaluations: int = 0
     _pool: object | None = field(default=None, repr=False, compare=False)
+    _profiled: bool = field(default=False, repr=False, compare=False)
 
     @property
     def graph(self):
@@ -257,15 +298,11 @@ class ExperimentContext:
         self.metric_evaluations += 1
         # Shard whole *destination groups* (not raw pair chunks) across
         # the pool so each worker fixes every destination's attacker-free
-        # baseline exactly once; groups are bin-packed largest-first so
-        # skewed group sizes cannot starve the pool, and only groups
-        # bigger than one bin's fair share are split.  Tasks are consumed
+        # baseline exactly once (see _shard_pairs).  Tasks are consumed
         # one at a time (chunksize=1 — the packing here *is* the
         # batching); results are scattered back into input pair order, so
         # parallel and serial runs stay bit-identical.
-        slots = self.processes * 4 if self.processes > 1 else 1
-        max_unit = max(1, -(-len(pairs) // slots)) if pairs else None
-        bins = _pack_groups(_destination_groups(pairs), slots, max_unit)
+        bins = self._shard_pairs(pairs)
         parts = self.map_tasks(
             _metric_chunk_worker,
             [[pairs[i] for i in bin_] for bin_ in bins],
@@ -273,12 +310,63 @@ class ExperimentContext:
             chunksize=1,
             min_parallel=2,
         )
-        flat: list = [None] * len(pairs)
-        for bin_, part in zip(bins, parts):
-            for i, r in zip(bin_, part):
-                flat[i] = r
-        results = tuple(flat)
-        return MetricResult(value=_mean_interval(results), per_pair=results)
+        return _gather_bins(pairs, bins, parts)
+
+    def _shard_pairs(
+        self, pairs: Sequence[tuple[int, int]]
+    ) -> list[list[int]]:
+        """Bin-pack pair *indices* by whole destination groups.
+
+        The single sharding policy behind :meth:`metric` and
+        :meth:`metric_chain` (they must stay in lockstep: each chain
+        step reproduces a :meth:`metric` call bit-for-bit): groups are
+        placed largest-first so skewed sizes cannot starve the pool, and
+        only groups bigger than one bin's fair share are split.
+        """
+        slots = self.processes * 4 if self.processes > 1 else 1
+        max_unit = max(1, -(-len(pairs) // slots)) if pairs else None
+        return _pack_groups(_destination_groups(pairs), slots, max_unit)
+
+    def metric_chain(
+        self,
+        pairs: Sequence[tuple[int, int]],
+        deployments: Sequence[Deployment],
+        model: RankModel,
+        attack: AttackStrategy | None = None,
+    ) -> list[MetricResult]:
+        """``H_{M,D}(S_t)`` for every step of a nested-deployment chain.
+
+        The rollout-major twin of :meth:`metric`: one result per
+        deployment, over the same pairs.  Whole ``(destination, chain)``
+        units are sharded across the fork pool — the same largest-first
+        destination-group bin-packing as :meth:`metric`, but each worker
+        walks its destinations through *all* chain steps on warm sweeps
+        (:func:`repro.core.metrics.rollout_happiness`), so a chain of T
+        steps costs one converged baseline plus T-1 advances per
+        destination instead of T full re-fixes.  Per-step results are
+        scattered back into input pair order, so each step reproduces
+        :meth:`metric` on that deployment bit-for-bit.
+        """
+        pairs = list(pairs)
+        deployments = list(deployments)
+        attack = self.attack if attack is None else attack
+        self.metric_evaluations += len(deployments)
+        bins = self._shard_pairs(pairs)
+        parts = self.map_tasks(
+            _metric_chain_worker,
+            [[pairs[i] for i in bin_] for bin_ in bins],
+            state={
+                "deployments": deployments,
+                "model": model,
+                "attack": attack,
+            },
+            chunksize=1,
+            min_parallel=2,
+        )
+        return [
+            _gather_bins(pairs, bins, [part[t] for part in parts])
+            for t in range(len(deployments))
+        ]
 
 
 def make_context(
@@ -287,6 +375,8 @@ def make_context(
     ixp: bool = False,
     processes: int = 1,
     attack: AttackStrategy | str = DEFAULT_ATTACK,
+    rollout_major: bool = True,
+    profile_path: str | None = None,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext`.
 
@@ -299,6 +389,11 @@ def make_context(
         attack: run-wide attacker strategy (instance or token, e.g.
             ``"forged_origin"``) used by every request that does not pin
             its own threat model.
+        rollout_major: evaluate nested-deployment chains with the warm
+            rollout-major engine path (False forces step-independent
+            evaluation; results are bit-identical either way).
+        profile_path: dump cProfile stats of the first evaluated
+            scenario to this path (the CLI's ``--profile``).
     """
     scale_obj = scale if isinstance(scale, Scale) else get_scale(scale)
     if isinstance(attack, str):
@@ -318,6 +413,8 @@ def make_context(
         catalog=ScenarioCatalog(graph, tiers),
         processes=processes,
         attack=attack,
+        rollout_major=rollout_major,
+        profile_path=profile_path,
     )
 
 
@@ -339,6 +436,29 @@ def cached(ectx: ExperimentContext, key: str, build: Callable[[], T]) -> T:
 # The scenario scheduler
 # ----------------------------------------------------------------------
 
+def _maybe_profile(ectx: ExperimentContext, evaluate: Callable[[], T]) -> T:
+    """Run one scenario evaluation, wrapping the first in cProfile when
+    the context asks for it (the CLI's ``--profile``)."""
+    if ectx.profile_path is None or ectx._profiled:
+        return evaluate()
+    import cProfile
+    import pstats
+
+    ectx._profiled = True
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = evaluate()
+    finally:
+        profile.disable()
+    profile.dump_stats(ectx.profile_path)
+    stats = pstats.Stats(profile)
+    stats.sort_stats("cumulative")
+    print(f"profiled first scenario evaluation -> {ectx.profile_path}")
+    stats.print_stats(15)
+    return result
+
+
 def evaluate_requests(
     ectx: ExperimentContext,
     requests: Iterable[EvalRequest],
@@ -350,11 +470,22 @@ def evaluate_requests(
     one evaluation; scenarios already in ``store`` are loaded instead of
     recomputed, and fresh evaluations are persisted immediately so an
     interrupted run is resumable.
+
+    With ``ectx.rollout_major`` (the default), the missing scenarios are
+    first partitioned into nested-deployment chains
+    (:func:`repro.experiments.scenarios.detect_chains`): a rollout's
+    steps — same pairs, model and threat model, deployments totally
+    ordered by ⊑ — are evaluated in one warm chain walk
+    (:meth:`ExperimentContext.metric_chain`) instead of step by step.
+    Store-cached steps simply drop out of the chain (the advance jumps
+    over them with a bigger delta).  Every scenario hash, store record
+    and result is byte-identical to the step-independent path.
     """
     unique: dict[str, EvalRequest] = {}
     for request in requests:
         unique.setdefault(request.scenario_hash, request)
     by_hash: dict[str, MetricResult] = {}
+    missing: list[EvalRequest] = []
     for scenario_hash, request in unique.items():
         if (
             request.scale != ectx.scale.name
@@ -374,15 +505,40 @@ def evaluate_requests(
                 by_hash[scenario_hash] = hit
                 continue
             store.misses += 1
-        result = ectx.metric(
-            request.pairs,
-            request.to_deployment(),
-            request.to_model(),
-            attack=request.to_attack(),
+        missing.append(request)
+    if ectx.rollout_major:
+        chains = detect_chains(missing)
+    else:
+        chains = [[request] for request in missing]
+    for chain in chains:
+        if len(chain) == 1:
+            request = chain[0]
+            result = _maybe_profile(
+                ectx,
+                lambda: ectx.metric(
+                    request.pairs,
+                    request.to_deployment(),
+                    request.to_model(),
+                    attack=request.to_attack(),
+                ),
+            )
+            if store is not None:
+                store.put(request, result)
+            by_hash[request.scenario_hash] = result
+            continue
+        results = _maybe_profile(
+            ectx,
+            lambda: ectx.metric_chain(
+                chain[0].pairs,
+                [request.to_deployment() for request in chain],
+                chain[0].to_model(),
+                attack=chain[0].to_attack(),
+            ),
         )
-        if store is not None:
-            store.put(request, result)
-        by_hash[scenario_hash] = result
+        for request, result in zip(chain, results):
+            if store is not None:
+                store.put(request, result)
+            by_hash[request.scenario_hash] = result
     return EvalResults(by_hash)
 
 

@@ -272,6 +272,90 @@ def collect_requests(*parts) -> list[EvalRequest]:
     return out
 
 
+# ----------------------------------------------------------------------
+# Nested-deployment chain detection (the rollout-major scheduler input)
+# ----------------------------------------------------------------------
+
+def deployment_nested(a: EvalRequest, b: EvalRequest) -> bool:
+    """``a ⊑ b``: may the rollout engine advance from ``a``'s deployment
+    to ``b``'s?
+
+    Nesting is per membership mode — both the ranking set (``full``) and
+    the signing set (``full ∪ simplex``) must grow monotonically; a
+    simplex→full promotion is allowed (ranking gains, signing keeps the
+    member).  This mirrors :meth:`repro.core.routing.RolloutSweep.advance`.
+    """
+    a_full = frozenset(a.deployment_full)
+    b_full = frozenset(b.deployment_full)
+    return a_full <= b_full and (
+        a_full | frozenset(a.deployment_simplex)
+        <= b_full | frozenset(b.deployment_simplex)
+    )
+
+
+def detect_chains(requests: Iterable[EvalRequest]) -> list[list[EvalRequest]]:
+    """Partition requests into nested-deployment chains.
+
+    Requests are grouped by everything *except* the deployment — same
+    topology (scale, seed, ixp), pair set, rank model, and attacker
+    strategy — then each group is sorted by deployment size and greedily
+    split into chains whose adjacent steps satisfy
+    :func:`deployment_nested` (first-fit onto the existing chain ends).
+    Singleton chains are ordinary step-independent scenarios; chains of
+    length ≥ 2 are what the scheduler hands to the rollout-major
+    evaluation path.  Deterministic: group order follows first
+    appearance, in-group order is by (signing size, ranking size,
+    membership tuples).
+
+    Example:
+        A rollout's steps collapse onto one chain; an unrelated
+        deployment splits off:
+
+        >>> from repro.core import Deployment, SECURITY_FIRST
+        >>> def req(members):
+        ...     return EvalRequest.build(
+        ...         scale="tiny", seed=1, ixp=False, pairs=[(9, 5)],
+        ...         deployment=Deployment.of(members), model=SECURITY_FIRST,
+        ...     )
+        >>> chains = detect_chains(
+        ...     [req([1, 2, 3]), req([1]), req([1, 2]), req([4])]
+        ... )
+        >>> [[r.deployment_full for r in c] for c in chains]
+        [[(1,), (1, 2), (1, 2, 3)], [(4,)]]
+    """
+    groups: dict[tuple, list[EvalRequest]] = {}
+    for request in requests:
+        key = (
+            request.scale,
+            request.seed,
+            request.ixp,
+            request.pairs,
+            request.model,
+            request.attack,
+        )
+        groups.setdefault(key, []).append(request)
+    chains: list[list[EvalRequest]] = []
+    for group in groups.values():
+        group.sort(
+            key=lambda r: (
+                len(r.deployment_full) + len(r.deployment_simplex),
+                len(r.deployment_full),
+                r.deployment_full,
+                r.deployment_simplex,
+            )
+        )
+        local: list[list[EvalRequest]] = []
+        for request in group:
+            for chain in local:
+                if deployment_nested(chain[-1], request):
+                    chain.append(request)
+                    break
+            else:
+                local.append([request])
+        chains.extend(local)
+    return chains
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A named collection of requests declared by one experiment."""

@@ -16,6 +16,14 @@ by construction — the hash covers every evaluation input, including the
 routing-semantics version :data:`repro.core.routing.ENGINE_VERSION`, so
 engine behavior changes start cold automatically).  Delete the cache
 directory to reclaim space or force a cold run.
+
+Opening a store does **not** parse it: a single scan builds an
+in-memory ``hash → byte offset`` index (the record hash sits in a fixed
+prefix of each line, so indexing never JSON-decodes result payloads),
+and :meth:`ResultStore.get` seeks, reads and parses one line on demand,
+memoizing the decoded record.  Warm runs over large stores therefore
+pay one sequential scan plus one small read per scenario actually
+requested, instead of decoding every stored result up front.
 """
 
 from __future__ import annotations
@@ -29,12 +37,20 @@ from .scenarios import EvalRequest, result_from_record, result_to_record
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
+#: Fixed line prefix written by :meth:`ResultStore.put` (the record dict
+#: is serialized with ``hash`` first), used for decode-free indexing.
+_HASH_PREFIX = b'{"hash":"'
+
+#: Offset sentinel for records living in ``_parsed`` only (fresh puts).
+_IN_MEMORY = -1
+
 
 class ResultStore:
     """JSONL-backed map from scenario hash to :class:`MetricResult`.
 
-    The file is read once at construction; ``put`` appends immediately
-    (crash-safe incremental progress) and updates the in-memory index.
+    The file is scanned once at construction to build the offset index;
+    records decode lazily in :meth:`get`.  ``put`` appends immediately
+    (crash-safe incremental progress) and updates the index in memory.
     ``hits``/``misses`` count lookups made through the scheduler so CLI
     runs can report cache effectiveness.
 
@@ -70,6 +86,8 @@ class ResultStore:
         [0.5000, 0.7000]
         >>> request.scenario_hash in reopened
         True
+        >>> reopened.hashes() == frozenset([request.scenario_hash])
+        True
     """
 
     def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
@@ -77,37 +95,102 @@ class ResultStore:
         self.path = self.root / "results.jsonl"
         self.hits = 0
         self.misses = 0
-        self._records: dict[str, dict] = {}
+        #: hash → byte offset of its newest record line (or _IN_MEMORY).
+        self._offsets: dict[str, int] = {}
+        #: hash → decoded record, filled lazily by get() and by put().
+        self._parsed: dict[str, dict] = {}
         self._handle = None
-        self._load()
+        self._reader = None
+        self._index()
 
-    def _load(self) -> None:
+    def _index(self) -> None:
+        """One sequential scan: map each record's hash to its offset.
+
+        The hash is sliced out of the fixed line prefix without JSON
+        decoding — but only for lines that also look like complete
+        records (terminated by ``}``, carrying a ``"result"`` key);
+        lines in any other shape (foreign writers, corruption) fall
+        back to a full decode, and undecodable or record-shaped-but-
+        incomplete lines — e.g. the truncated tail of an interrupted
+        run — are skipped, so every indexed hash is one :meth:`get`
+        can actually serve.  Later records win, matching the
+        append-only newest-wins contract.
+        """
         if not self.path.exists():
             return
-        for line in self.path.read_text(encoding="utf-8").splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                # Truncated tail from an interrupted run; everything
-                # before it is intact, so skip rather than fail.
-                continue
-            if isinstance(record, dict) and "hash" in record and "result" in record:
-                self._records[record["hash"]] = record
+        prefix = _HASH_PREFIX
+        plen = len(prefix)
+        offset = 0
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                start = offset
+                offset += len(line)
+                if not line.endswith(b"\n"):
+                    # Truncated tail from an interrupted run; everything
+                    # before it is intact, so skip rather than fail.
+                    continue
+                if (
+                    line.startswith(prefix)
+                    and line.rstrip().endswith(b"}")
+                    and b'"result"' in line
+                ):
+                    end = line.find(b'"', plen)
+                    if end > plen:
+                        scenario_hash = line[plen:end].decode("ascii")
+                        self._offsets[scenario_hash] = start
+                        # Newest wins: an earlier fallback-decoded record
+                        # for this hash must not shadow this line.
+                        self._parsed.pop(scenario_hash, None)
+                        continue
+                record = self._decode(line)
+                if record is not None:
+                    self._offsets[record["hash"]] = start
+                    self._parsed[record["hash"]] = record
+
+    @staticmethod
+    def _decode(line: bytes) -> dict | None:
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if isinstance(record, dict) and "hash" in record and "result" in record:
+            return record
+        return None
 
     # -- mapping views --------------------------------------------------
     def __contains__(self, scenario_hash: str) -> bool:
-        return scenario_hash in self._records
+        return scenario_hash in self._offsets
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._offsets)
+
+    def hashes(self) -> frozenset[str]:
+        """Every stored scenario hash (no record is decoded)."""
+        return frozenset(self._offsets)
 
     def get(self, scenario_hash: str) -> MetricResult | None:
-        record = self._records.get(scenario_hash)
+        record = self._parsed.get(scenario_hash)
         if record is None:
-            return None
+            offset = self._offsets.get(scenario_hash)
+            if offset is None or offset == _IN_MEMORY:
+                return None
+            reader = self._reader
+            if reader is None:
+                reader = self._reader = open(self.path, "rb")
+            reader.seek(offset)
+            record = self._decode(reader.readline())
+            if record is None or record.get("hash") != scenario_hash:
+                # The indexed line no longer decodes to this record (the
+                # file changed underneath us, or record-shaped
+                # corruption slipped past the prefix check); drop it
+                # from the index so len()/hashes() self-correct, and
+                # treat as a miss.
+                self._offsets.pop(scenario_hash, None)
+                return None
+            self._parsed[scenario_hash] = record
         return result_from_record(record["result"])
 
     # -- writes ---------------------------------------------------------
@@ -128,15 +211,19 @@ class ResultStore:
         handle.write(
             (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
         )
-        self._records[scenario_hash] = record
+        self._parsed[scenario_hash] = record
+        self._offsets[scenario_hash] = _IN_MEMORY
         return scenario_hash
 
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Close the append handle (reopened lazily by the next put)."""
+        """Close the append and read handles (reopened lazily)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
 
     def __enter__(self) -> "ResultStore":
         return self

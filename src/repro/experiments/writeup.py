@@ -48,6 +48,8 @@ def run_trials(
     store: ResultStore | None = None,
     ixp: bool = False,
     attack: str = "hijack",
+    rollout_major: bool = True,
+    profile_path: str | None = None,
 ) -> list[ExperimentResult]:
     """Run experiments over ``trials`` consecutive topology seeds.
 
@@ -64,7 +66,8 @@ def run_trials(
     for trial in range(trials):
         with make_context(
             scale=scale, seed=seed + trial, ixp=ixp, processes=processes,
-            attack=attack,
+            attack=attack, rollout_major=rollout_major,
+            profile_path=profile_path if trial == 0 else None,
         ) as ectx:
             per_trial.append(
                 run_experiments(ectx, list(experiment_ids), store=store)
@@ -81,13 +84,16 @@ def run_all(
     trials: int = 1,
     store: ResultStore | None = None,
     attack: str = "hijack",
+    rollout_major: bool = True,
+    profile_path: str | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment (plus the Appendix J reruns)."""
     specs = all_experiments()
     ids = experiment_ids or list(specs)
     results = run_trials(
         ids, scale=scale, seed=seed, processes=processes, trials=trials,
-        store=store, attack=attack,
+        store=store, attack=attack, rollout_major=rollout_major,
+        profile_path=profile_path,
     )
     if include_ixp:
         ixp_ids = [
@@ -97,6 +103,7 @@ def run_all(
             results += run_trials(
                 ixp_ids, scale=scale, seed=seed, processes=processes,
                 trials=trials, store=store, ixp=True, attack=attack,
+                rollout_major=rollout_major,
             )
     return results
 
@@ -110,12 +117,15 @@ def write_markdown(
     trials: int = 1,
     store: ResultStore | None = None,
     attack: str = "hijack",
+    rollout_major: bool = True,
+    profile_path: str | None = None,
 ) -> list[ExperimentResult]:
     """Run everything and write EXPERIMENTS.md to ``path``."""
     started = time.time()
     results = run_all(
         scale=scale, seed=seed, processes=processes, include_ixp=include_ixp,
         trials=trials, store=store, attack=attack,
+        rollout_major=rollout_major, profile_path=profile_path,
     )
     elapsed = time.time() - started
     blocks = [

@@ -21,7 +21,8 @@ def results(ectx):
 class TestRegistry:
     EXPECTED_IDS = {
         "baseline", "fig3", "fig4", "fig5", "fig6", "source_tier",
-        "fig7a", "fig7b", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig7a", "fig7a_dense", "fig7b", "fig8", "fig9", "fig10",
+        "fig11", "fig12",
         "fig13", "fig16", "table3", "wedgie", "guideline_t1",
         "guideline_t2", "nonstubs", "hardness", "lp2",
         "hysteresis", "islands",  # §8 extensions

@@ -1,0 +1,315 @@
+"""Differential tests for the rollout-major chain engine.
+
+:class:`repro.core.routing.RolloutSweep` advances a converged baseline
+across a nested-deployment chain (committing deltas instead of
+restoring them), and :func:`repro.core.routing.rollout_happiness_counts`
+walks whole chains per destination — through per-attacker attacked-state
+chains for sparse groups and the shared-baseline delta walk (with the
+cross-step memo) for dense ones.  The tests here hold every step of a
+chain walk *bit-identical* to three independent oracles:
+
+* the step-independent destination-major path
+  (``batch_happiness_counts`` with default flags),
+* the per-pair flat engine (``destination_major=False``), and
+* the seed reference engine (:mod:`repro.core.refimpl`).
+
+Grids: full tier12/tier2 rollout chains (coarse, dense and
+simplex-stub variants, prefixed with S = ∅) x all rank models
+(baseline + three placements + LP2 variants) x ±IXP x all four shipped
+attacker strategies, with attacker sets that include destination
+neighbors, many-attacker groups (exercising the shared-baseline memo
+walk), and a chain step that secures an attacker itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    BASELINE,
+    Deployment,
+    DestinationSweep,
+    FORGED_ORIGIN,
+    HONEST,
+    ONE_HOP_HIJACK,
+    RolloutSweep,
+    SECURITY_MODELS,
+    batch_happiness_counts,
+    lp2_variant,
+    rollout_happiness_counts,
+    strategy_from_token,
+    tier2_rollout,
+    tier12_rollout,
+    tier12_rollout_dense,
+)
+from repro.core.routing import _ATTACKER_CHAIN_MAX, RoutingContext, _AttackerChain
+from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+from repro.topology import TopologyParams, classify_tiers, generate_topology
+from repro.topology.ixp import augment_with_ixp_peering
+
+ALL_MODELS = (BASELINE,) + SECURITY_MODELS
+LP2_MODELS = tuple(lp2_variant(m) for m in ALL_MODELS)
+ALL_STRATEGIES = (ONE_HOP_HIJACK, HONEST, strategy_from_token("khop2"), FORGED_ORIGIN)
+
+
+def make_topology(seed: int, ixp: bool = False, n: int = 80):
+    topo = generate_topology(TopologyParams(n=n, seed=seed))
+    graph = topo.graph
+    if ixp:
+        graph = augment_with_ixp_peering(graph, topo.ixp_members).graph
+    return graph, classify_tiers(graph)
+
+
+def make_chain(graph, tiers, kind: str) -> list[Deployment]:
+    """A nested chain prefixed with S = ∅ (the hardest first advance)."""
+    if kind == "tier12":
+        steps = tier12_rollout(graph, tiers)
+    elif kind == "tier12_simplex":
+        steps = tier12_rollout(graph, tiers, simplex_stubs=True)
+    elif kind == "tier12_dense":
+        steps = tier12_rollout_dense(graph, tiers)
+    elif kind == "tier2":
+        steps = tier2_rollout(graph, tiers)
+    else:  # pragma: no cover - test configuration error
+        raise ValueError(kind)
+    return [Deployment.empty()] + [step.deployment for step in steps]
+
+
+def chain_pairs(graph, seed: int, destinations: int, attackers: int):
+    """(m, d) pairs: per destination, its neighbors (the adjacent edge
+    cases) padded with remote attackers up to ``attackers``."""
+    rnd = random.Random(seed * 7919 + 5)
+    asns = graph.asns
+    pairs = []
+    for d in rnd.sample(asns, destinations):
+        adjacent = sorted(graph.neighbors(d))
+        remote = [a for a in asns if a != d and a not in adjacent]
+        ms = (adjacent + rnd.sample(remote, len(remote)))[:attackers]
+        pairs.extend((m, d) for m in ms)
+    return pairs
+
+
+def assert_chain_matches_oracles(graph, pairs, chain, model, attack, refimpl_budget=0):
+    ctx = RoutingContext(graph)
+    rollout = rollout_happiness_counts(ctx, pairs, chain, model, attack=attack)
+    for t, deployment in enumerate(chain):
+        dest_major = batch_happiness_counts(
+            ctx, pairs, deployment, model, attack=attack
+        )
+        assert rollout[t] == dest_major, (model.label, attack.token, t)
+        per_pair = batch_happiness_counts(
+            ctx, pairs, deployment, model, destination_major=False, attack=attack
+        )
+        assert rollout[t] == per_pair, (model.label, attack.token, t)
+    if refimpl_budget:
+        ref_ctx = RefRoutingContext(graph)
+        rnd = random.Random(1234)
+        combos = [(t, i) for t in range(len(chain)) for i in range(len(pairs))]
+        for t, i in rnd.sample(combos, min(refimpl_budget, len(combos))):
+            m, d = pairs[i]
+            ref = ref_compute_routing_outcome(
+                ref_ctx, d, m, chain[t], model, attack=attack
+            )
+            lo, up, src = rollout[t][i]
+            assert ref.count_happy() == (lo, up), (model.label, t, m, d)
+            assert ref.num_sources == src
+
+
+# ----------------------------------------------------------------------
+# The differential grid
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("ixp", [False, True], ids=["base", "ixp"])
+@pytest.mark.parametrize("kind", ["tier12", "tier12_simplex", "tier2"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_chains_match_oracles_all_models(seed, kind, ixp):
+    graph, tiers = make_topology(seed, ixp=ixp)
+    chain = make_chain(graph, tiers, kind)
+    pairs = chain_pairs(graph, seed, destinations=3, attackers=2)
+    for model in ALL_MODELS:
+        assert_chain_matches_oracles(
+            graph, pairs, chain, model, ONE_HOP_HIJACK,
+            refimpl_budget=4 if not ixp else 0,
+        )
+
+
+@pytest.mark.parametrize("seed", [3, 4])
+def test_dense_chain_with_lp2_variants(seed):
+    graph, tiers = make_topology(seed)
+    chain = make_chain(graph, tiers, "tier12_dense")
+    pairs = chain_pairs(graph, seed, destinations=2, attackers=2)
+    for model in LP2_MODELS:
+        assert_chain_matches_oracles(graph, pairs, chain, model, ONE_HOP_HIJACK)
+
+
+@pytest.mark.parametrize("attack", ALL_STRATEGIES, ids=lambda a: a.token)
+def test_chains_match_oracles_all_strategies(attack):
+    """All four shipped threat models, including ``honest`` (which is
+    barred from attacked-state chains: its resolution re-reads the
+    attacker-free baseline of every step) and ``forged_origin`` (whose
+    resolution flips with the victim's signing bit mid-chain)."""
+    graph, tiers = make_topology(5)
+    chain = make_chain(graph, tiers, "tier12")
+    pairs = chain_pairs(graph, 5, destinations=3, attackers=2)
+    for model in (BASELINE, SECURITY_MODELS[0], SECURITY_MODELS[1]):
+        assert_chain_matches_oracles(
+            graph, pairs, chain, model, attack, refimpl_budget=3
+        )
+
+
+def test_chain_step_secures_an_attacker():
+    """A step that secures an AS which is itself attacking: the secured
+    attacker keeps announcing its resolved claim (the paper's attacker
+    ignores protocol), and every oracle agrees."""
+    graph, tiers = make_topology(6)
+    chain = make_chain(graph, tiers, "tier12")
+    final = chain[-1]
+    rnd = random.Random(99)
+    secured = sorted(final.full | final.simplex)
+    # attackers drawn from ASes secured by later steps (absent from the
+    # earlier ones), plus a destination secured mid-chain.
+    late = [a for a in secured if a not in chain[1]] or secured
+    attackers = rnd.sample(late, min(3, len(late)))
+    destinations = rnd.sample(
+        [a for a in secured if a not in attackers], 2
+    )
+    pairs = [(m, d) for d in destinations for m in attackers if m != d]
+    for model in ALL_MODELS:
+        assert_chain_matches_oracles(
+            graph, pairs, chain, model, ONE_HOP_HIJACK, refimpl_budget=4
+        )
+
+
+def test_many_attacker_groups_use_shared_baseline_walk():
+    """Groups above _ATTACKER_CHAIN_MAX take the shared-baseline delta
+    walk with the cross-step memo; results still match oracles."""
+    graph, tiers = make_topology(7)
+    chain = make_chain(graph, tiers, "tier12_dense")
+    pairs = chain_pairs(
+        graph, 7, destinations=2, attackers=_ATTACKER_CHAIN_MAX + 4
+    )
+    for model in ALL_MODELS:
+        assert_chain_matches_oracles(graph, pairs, chain, model, ONE_HOP_HIJACK)
+
+
+def test_none_attacker_rows_walk_with_the_chain():
+    graph, tiers = make_topology(8)
+    chain = make_chain(graph, tiers, "tier2")
+    rnd = random.Random(8)
+    d1, d2 = rnd.sample(graph.asns, 2)
+    m = next(a for a in graph.asns if a not in (d1, d2))
+    pairs = [(None, d1), (m, d1), (None, d2)]
+    ctx = RoutingContext(graph)
+    for model in ALL_MODELS:
+        rollout = rollout_happiness_counts(
+            ctx, pairs, chain, model, attack=ONE_HOP_HIJACK
+        )
+        for t, deployment in enumerate(chain):
+            assert rollout[t] == batch_happiness_counts(
+                ctx, pairs, deployment, model
+            ), (model.label, t)
+
+
+# ----------------------------------------------------------------------
+# RolloutSweep unit behavior
+# ----------------------------------------------------------------------
+class TestRolloutSweep:
+    def test_walk_matches_fresh_sweeps(self):
+        graph, tiers = make_topology(9)
+        chain = make_chain(graph, tiers, "tier12")
+        rnd = random.Random(9)
+        d = rnd.choice(graph.asns)
+        attackers = rnd.sample([a for a in graph.asns if a != d], 6)
+        model = SECURITY_MODELS[0]
+        ctx = RoutingContext(graph)
+        sweep = RolloutSweep(ctx, d, chain[0], model)
+        for t, deployment in enumerate(chain):
+            if t:
+                sweep.advance(deployment)
+            fresh = DestinationSweep(ctx, d, deployment, model)
+            assert sweep.baseline_counts() == fresh.baseline_counts(), t
+            assert [sweep.happiness_counts(m) for m in attackers] == [
+                fresh.happiness_counts(m) for m in attackers
+            ], t
+
+    def test_advance_rejects_non_nested(self):
+        graph, tiers = make_topology(10)
+        sweep = RolloutSweep(graph, graph.asns[0], Deployment.of(graph.asns[:5]))
+        with pytest.raises(ValueError, match="nested"):
+            sweep.advance(Deployment.of(graph.asns[3:8]))
+
+    def test_advance_allows_simplex_promotion(self):
+        graph, _tiers = make_topology(11)
+        members = graph.asns[:6]
+        start = Deployment(full=frozenset(members[:3]), simplex=frozenset(members[3:]))
+        promoted = Deployment.of(members)  # simplex members promoted to full
+        d = graph.asns[-1]
+        sweep = RolloutSweep(graph, d, start)
+        sweep.advance(promoted)
+        assert sweep.baseline_counts() == DestinationSweep(
+            graph, d, promoted
+        ).baseline_counts()
+
+    def test_destination_signing_flip_rebuilds(self):
+        """A chain step that secures the destination itself changes the
+        root's announcement; the sweep rebuilds and still matches."""
+        graph, _tiers = make_topology(12)
+        rnd = random.Random(12)
+        d = rnd.choice(graph.asns)
+        m = next(a for a in graph.asns if a != d)
+        model = SECURITY_MODELS[1]
+        chain = [
+            Deployment.empty(),
+            Deployment.of([a for a in graph.asns[:8] if a != d and a != m]),
+            Deployment.of([a for a in graph.asns[:12] if a != m] + [d]),
+        ]
+        ctx = RoutingContext(graph)
+        sweep = RolloutSweep(ctx, d, chain[0], model)
+        for t, deployment in enumerate(chain):
+            if t:
+                sweep.advance(deployment)
+            fresh = DestinationSweep(ctx, d, deployment, model)
+            assert sweep.happiness_counts(m) == fresh.happiness_counts(m), t
+
+    def test_interleaved_attackers_leak_free_across_advances(self):
+        graph, tiers = make_topology(13)
+        chain = make_chain(graph, tiers, "tier12")
+        rnd = random.Random(13)
+        d = rnd.choice(graph.asns)
+        a, b = rnd.sample([x for x in graph.asns if x != d], 2)
+        model = SECURITY_MODELS[2]
+        sweep = RolloutSweep(graph, d, chain[0], model)
+        for t, deployment in enumerate(chain):
+            if t:
+                sweep.advance(deployment)
+            first = sweep.happiness_counts(a)
+            sweep.happiness_counts(b)
+            assert sweep.happiness_counts(a) == first, t
+
+    def test_dependency_lists_stay_bounded_over_long_chains(self):
+        """The commit's dependency patch must be bounded by membership
+        churn (appends only for new-vs-replaced memberships, periodic
+        exact rebuild), not grow with how often nodes are touched: after
+        a long chain walk the total slack over the exact reverse-nhops
+        size stays under the rebuild threshold."""
+        graph, tiers = make_topology(15)
+        chain = make_chain(graph, tiers, "tier12_dense")
+        rnd = random.Random(15)
+        d = rnd.choice(graph.asns)
+        m = next(a for a in graph.asns if a != d)
+        sweep = RolloutSweep(graph, d, chain[0], SECURITY_MODELS[0])
+        # walk the chain twice-interleaved lengths via repeated attackers
+        for deployment in chain[1:]:
+            sweep.advance(deployment)
+            sweep.happiness_counts(m)
+        exact = sum(len(h) for h in sweep._b_nhops if h)
+        total = sum(len(dependents) for dependents in sweep._dep)
+        assert total <= exact + sweep.ctx.n
+        assert sweep._dep_slack <= sweep.ctx.n
+
+    def test_attacker_chain_rejects_needs_baseline_strategy(self):
+        graph, _tiers = make_topology(14)
+        d, m = graph.asns[0], graph.asns[1]
+        with pytest.raises(ValueError, match="step-stable"):
+            _AttackerChain(graph, d, m, Deployment.empty(), BASELINE, HONEST)

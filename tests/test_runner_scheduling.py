@@ -96,3 +96,33 @@ class TestMetricScheduling:
         assert [
             (r.attacker, r.destination) for r in serial.per_pair
         ] == pairs  # input order preserved
+
+    def test_metric_chain_parallel_matches_serial_and_metric(self, ectx):
+        """Chain evaluation shards (destination, chain) units across the
+        pool; per-step results must reproduce both the serial chain walk
+        and the step-independent metric() bit-for-bit."""
+        rnd = random.Random(11)
+        asns = ectx.graph.asns
+        dests = rnd.sample(asns, 4)
+        pairs = []
+        for d in dests:  # skewed groups: 9/4/2/1 attackers
+            count = {dests[0]: 9, dests[1]: 4, dests[2]: 2, dests[3]: 1}[d]
+            pairs += [(m, d) for m in rnd.sample([a for a in asns if a != d], count)]
+        rnd.shuffle(pairs)
+        members = sorted(rnd.sample(asns, 60))
+        chain = [
+            Deployment.of(members[:10]),
+            Deployment.of(members[:30]),
+            Deployment.of(members),
+        ]
+        serial = ectx.metric_chain(pairs, chain, SECURITY_SECOND)
+        with make_context(scale="tiny", seed=2013, processes=3) as pectx:
+            parallel = pectx.metric_chain(pairs, chain, SECURITY_SECOND)
+        for t, deployment in enumerate(chain):
+            assert parallel[t].per_pair == serial[t].per_pair
+            assert parallel[t].value == serial[t].value
+            independent = ectx.metric(pairs, deployment, SECURITY_SECOND)
+            assert serial[t].per_pair == independent.per_pair, t
+            assert [
+                (r.attacker, r.destination) for r in serial[t].per_pair
+            ] == pairs  # input order preserved per step

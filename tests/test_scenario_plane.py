@@ -185,6 +185,216 @@ class TestStoreRoundTrip:
         assert len(ResultStore(tmp_path / "cache")) == 1  # same hash
 
 
+class TestStoreIndex:
+    """The lazy offset index: scans once, decodes on demand."""
+
+    def _evaluated(self, ectx, pairs_salt, model=SECURITY_SECOND):
+        asns = ectx.graph.asns
+        pairs = [(asns[-1 - pairs_salt], asns[pairs_salt])]
+        dep = ectx.catalog.get("t1_stubs")
+        req = request_for(ectx, pairs, dep, model)
+        return req, ectx.metric(req.pairs, dep, model)
+
+    def test_hashes_and_len_without_decoding(self, ectx, tmp_path):
+        reqs = []
+        with ResultStore(tmp_path / "cache") as store:
+            for salt in range(3):
+                req, result = self._evaluated(ectx, salt)
+                store.put(req, result)
+                reqs.append(req)
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 3
+        assert reopened.hashes() == {r.scenario_hash for r in reqs}
+        # indexing alone decodes nothing: records parse lazily on get().
+        assert reopened._parsed == {}
+        assert reopened.get(reqs[1].scenario_hash) is not None
+        assert set(reopened._parsed) == {reqs[1].scenario_hash}
+
+    def test_newest_record_wins(self, ectx, tmp_path):
+        req, result = self._evaluated(ectx, 0)
+        with ResultStore(tmp_path / "cache") as store:
+            store.put(req, result)
+            store.put(req, result)  # append-only duplicate
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.get(req.scenario_hash).value == result.value
+
+    def test_record_shaped_corruption_is_not_indexed(self, ectx, tmp_path):
+        """Lines that start like a record but cannot be served by get()
+        — broken JSON after the hash, or a record with no result —
+        must not be counted by len()/hashes()."""
+        req, result = self._evaluated(ectx, 0)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        store.close()
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"hash":"feedfacefeedfacefeed",garbage\n')
+            handle.write('{"hash":"0123456789abcdef0123","request":{}}\n')
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.hashes() == {req.scenario_hash}
+        assert reopened.get("feedfacefeedfacefeed") is None
+        assert reopened.get(req.scenario_hash) is not None
+
+    def test_foreign_line_shape_falls_back_to_full_decode(self, ectx, tmp_path):
+        """A record whose line doesn't match put()'s key order (e.g. a
+        foreign writer) is still indexed via the JSON fallback."""
+        req, result = self._evaluated(ectx, 0)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        store.close()
+        raw = json.loads(store.path.read_text(encoding="utf-8"))
+        reordered = {"request": raw["request"], "result": raw["result"],
+                     "hash": raw["hash"]}
+        store.path.write_text(json.dumps(reordered) + "\n", encoding="utf-8")
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.get(req.scenario_hash).value == result.value
+
+    def test_newer_put_record_wins_over_foreign_older_line(self, ectx, tmp_path):
+        """A foreign-shape (fallback-decoded) old record must not shadow
+        a newer put-written record for the same hash."""
+        req, result = self._evaluated(ectx, 0)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        store.close()
+        raw = json.loads(store.path.read_text(encoding="utf-8"))
+        stale = {
+            "request": raw["request"],
+            "result": {
+                key: ([[0, 1]] if key == "pairs" else [0])
+                for key in raw["result"]
+            },
+            "hash": raw["hash"],
+        }
+        # older foreign-shape line first, then the genuine newest record.
+        store.path.write_text(
+            json.dumps(stale) + "\n"
+            + json.dumps(raw, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        reopened = ResultStore(tmp_path / "cache")
+        assert len(reopened) == 1
+        assert reopened.get(req.scenario_hash).value == result.value
+
+
+class TestChainDetection:
+    def _req(self, ectx, members, pairs=None, model=SECURITY_SECOND,
+             simplex=frozenset()):
+        a, b = ectx.graph.asns[:2]
+        return request_for(
+            ectx, pairs or [(a, b)],
+            Deployment(full=frozenset(members), simplex=simplex), model,
+        )
+
+    def test_nested_deployments_form_one_chain(self, ectx):
+        from repro.experiments.scenarios import detect_chains
+
+        c = ectx.graph.asns[2:8]
+        reqs = [self._req(ectx, c[:k]) for k in (3, 1, 2)]
+        chains = detect_chains(reqs)
+        assert len(chains) == 1
+        assert [len(r.deployment_full) for r in chains[0]] == [1, 2, 3]
+
+    def test_incomparable_deployments_split(self, ectx):
+        from repro.experiments.scenarios import detect_chains
+
+        c = ectx.graph.asns[2:8]
+        reqs = [
+            self._req(ectx, [c[0]]),
+            self._req(ectx, [c[0], c[1]]),
+            self._req(ectx, [c[2]]),  # not a superset of either
+        ]
+        chains = detect_chains(reqs)
+        assert sorted(len(chain) for chain in chains) == [1, 2]
+
+    def test_model_pairs_and_attack_partition_groups(self, ectx):
+        from repro.experiments.scenarios import detect_chains
+
+        a, b, c = ectx.graph.asns[:3]
+        members = ectx.graph.asns[3:6]
+        base = self._req(ectx, members[:1])
+        other_model = self._req(ectx, members, model=BASELINE)
+        other_pairs = self._req(ectx, members, pairs=[(a, c)])
+        other_attack = request_for(
+            ectx, [(a, b)], Deployment.of(members), SECURITY_SECOND,
+            attack="honest",
+        )
+        chains = detect_chains([base, other_model, other_pairs, other_attack])
+        assert all(len(chain) == 1 for chain in chains)
+
+    def test_simplex_promotion_is_nested(self, ectx):
+        from repro.experiments.scenarios import deployment_nested
+
+        members = ectx.graph.asns[3:6]
+        simplexed = self._req(ectx, members[:1], simplex=frozenset(members[1:]))
+        promoted = self._req(ectx, members)
+        demoted = self._req(ectx, members[:1], simplex=frozenset())
+        assert deployment_nested(simplexed, promoted)
+        assert not deployment_nested(promoted, simplexed)
+        assert deployment_nested(demoted, simplexed)
+
+
+class TestRolloutMajorScheduling:
+    IDS = ["fig7a", "fig11"]
+
+    def test_rollout_major_matches_step_independent(self, tmp_path):
+        with make_context(scale="tiny", seed=2013) as ectx:
+            rollout = run_experiments(ectx, self.IDS)
+            rollout_evals = ectx.metric_evaluations
+        with make_context(scale="tiny", seed=2013, rollout_major=False) as ectx:
+            independent = run_experiments(ectx, self.IDS)
+            independent_evals = ectx.metric_evaluations
+        assert rollout_evals == independent_evals  # same scenario count
+        for a, b in zip(rollout, independent):
+            assert a.rows == b.rows, a.experiment_id
+            assert a.text == b.text, a.experiment_id
+
+    def test_store_records_identical_across_paths(self, tmp_path):
+        def records(root, rollout_major):
+            store = ResultStore(root)
+            with make_context(
+                scale="tiny", seed=2013, rollout_major=rollout_major
+            ) as ectx:
+                run_experiments(ectx, self.IDS, store=store)
+            store.close()
+            lines = store.path.read_text(encoding="utf-8").splitlines()
+            return sorted(lines)  # chain walking reorders evaluation only
+
+        assert records(tmp_path / "a", True) == records(tmp_path / "b", False)
+
+    def test_chain_walk_hits_step_independent_store(self, tmp_path):
+        """A store written by either path warms the other completely."""
+        store = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013, rollout_major=False) as ectx:
+            run_experiments(ectx, self.IDS, store=store)
+        store.close()
+        warm = ResultStore(tmp_path / "cache")
+        with make_context(scale="tiny", seed=2013) as ectx:
+            run_experiments(ectx, self.IDS, store=warm)
+            assert ectx.metric_evaluations == 0
+
+    def test_partially_warm_chain_advances_over_cached_steps(self, tmp_path):
+        """Caching a mid-chain step leaves a chain with a gap: the walk
+        must jump it with a bigger advance and still match."""
+        with make_context(scale="tiny", seed=2013) as ectx:
+            from repro.experiments import get_experiment
+
+            requests = list(get_experiment("fig7a").requests(ectx))
+            store = ResultStore(tmp_path / "cache")
+            # seed the store with roughly every other scenario.
+            seeded = requests[::2]
+            full = evaluate_requests(ectx, requests)
+            for req in seeded:
+                store.put(req, full.for_request(req))
+            partial = evaluate_requests(ectx, requests, store=store)
+            for req in requests:
+                assert (
+                    partial.for_request(req).per_pair
+                    == full.for_request(req).per_pair
+                ), req.scenario_hash
+
+
 class TestScheduler:
     def test_global_dedupe_across_experiments(self):
         """fig7a and fig11 share their H(∅) baseline: one evaluation."""
