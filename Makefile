@@ -20,6 +20,7 @@ doctest:
 		src/repro/core/attacks.py \
 		src/repro/core/metrics.py \
 		src/repro/core/routing.py \
+		src/repro/core/shm.py \
 		src/repro/experiments/scenarios.py \
 		src/repro/experiments/store.py
 
@@ -33,10 +34,11 @@ bench:
 	$(PYTHON) benchmarks/bench_pipeline.py
 
 ## CI perf smoke: reduced sweeps, fails if the batched-vs-seed or
-## destination-major speedups fall below 2.5x, or the rollout-major
-## chain speedup below 2x (generous vs the ~4.3x/~4.7x/~3.4x they
-## record on dev hardware); never touches the repo's committed BENCH
-## files (check output defaults to temp files)
+## destination-major speedups fall below 2.5x, the vectorized-kernel
+## speedup below 2x, or the rollout-major chain speedup below 2x
+## (generous vs the ~4.3x/~4.7x/~3.6x/~3.4x they record on dev
+## hardware); never touches the repo's committed BENCH files (check
+## output defaults to temp files)
 bench-check:
 	$(PYTHON) benchmarks/bench_routing.py --check
 	$(PYTHON) benchmarks/bench_rollout.py --check

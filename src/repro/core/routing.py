@@ -70,6 +70,12 @@ from typing import Iterator, Sequence
 from ..topology.graph import ASGraph
 from ..topology.relationships import RouteClass
 
+try:  # numpy backs the optional vectorized kernel and shared arenas;
+    # both degrade to the pure-python paths when it is unavailable.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
 #: Version of the routing *semantics* (not the implementation).  Bump
 #: whenever a change alters any routing outcome — tiebreak handling,
 #: export rules, security attribution — so content-addressed caches of
@@ -86,11 +92,80 @@ from .attacks import (
     ResolvedAttack,
 )
 from .deployment import Deployment
-from .rank import BASELINE, PACK_SHIFT, RankKey, RankModel
+from .rank import (
+    BASELINE,
+    PACK_SHIFT,
+    SECURITY_FIRST,
+    SECURITY_SECOND,
+    SECURITY_THIRD,
+    RankKey,
+    RankModel,
+    SecurityModel,
+)
 
 _IDX_MASK = (1 << PACK_SHIFT) - 1
 #: Larger than any packed rank key (keys use 3 * PACK_SHIFT = 63 bits).
 _INF = 1 << 66
+
+#: int64-safe "no key" sentinel for the numpy scratch arrays.  ``_INF``
+#: needs 67 bits and cannot live in an int64; real packed keys use at
+#: most 3 * PACK_SHIFT = 63 bits but stay far below ``1 << 62`` (the
+#: top component is a small LP bucket or 0/1 security bit), so this
+#: sentinel is still strictly larger than every real key.  The
+#: write-back maps it to ``_INF`` so python-side consumers see the
+#: exact pure-kernel values.
+_NP_INF = 1 << 62
+
+#: Contexts at or above this many ASes default to the vectorized kernel
+#: (below it, per-round numpy dispatch overhead beats the win).
+VECTORIZED_MIN_N = 10_000
+
+#: Classic-LP models whose packed coefficient rows a shared arena
+#: carries (row order is the :data:`rank_coeffs` layout contract).
+_COEFF_MODELS = (BASELINE, SECURITY_FIRST, SECURITY_SECOND, SECURITY_THIRD)
+
+
+def _u8(buf):
+    """A uint8 ndarray view of a bytes-like CSR buffer (zero-copy)."""
+    if isinstance(buf, (bytes, bytearray)):
+        return _np.frombuffer(buf, dtype=_np.uint8)
+    return buf
+
+
+def _np_key_fn(model: RankModel):
+    """Vectorized twin of ``model.key`` + ``pack_key``.
+
+    Returns ``f(vcls, ln, sec) -> int64 packed keys`` over aligned
+    arrays: ``vcls`` the receiver's route class, ``ln`` the route
+    length, ``sec`` the receiver's effective security bit.  Mirrors
+    :meth:`RankModel.key` component order and
+    :meth:`LocalPreference.bucket` exactly so packed values are
+    bit-identical to the pure kernel's.
+    """
+    np = _np
+    mid = 1 << PACK_SHIFT
+    hi = 1 << (2 * PACK_SHIFT)
+    k = model.local_preference.peer_window
+
+    if k is None:
+
+        def bucket_of(vcls, ln):
+            return vcls
+
+    else:
+
+        def bucket_of(vcls, ln):
+            capped = np.minimum(ln, k + 1)
+            return np.where(vcls == 2, 2 * (k + 1), 2 * (capped - 1) + (vcls == 1))
+
+    placement = model.model
+    if placement is SecurityModel.FIRST:
+        return lambda vcls, ln, sec: (1 - sec) * hi + bucket_of(vcls, ln) * mid + ln
+    if placement is SecurityModel.SECOND:
+        return lambda vcls, ln, sec: bucket_of(vcls, ln) * hi + (1 - sec) * mid + ln
+    if placement is SecurityModel.THIRD:
+        return lambda vcls, ln, sec: bucket_of(vcls, ln) * hi + ln * mid + (1 - sec)
+    return lambda vcls, ln, sec: bucket_of(vcls, ln) * hi + ln * mid
 
 #: Shared empty deployment so default-argument calls hit the mask cache.
 _EMPTY_DEPLOYMENT = Deployment.empty()
@@ -187,7 +262,14 @@ class RoutingContext:
         "providers_idx",
         "customers_idx",
         "peers_idx",
-        "_edges",
+        "vectorized",
+        "shared_arena",
+        "rank_coeffs",
+        "_edges_cache",
+        "_np_adj",
+        "_np_scratch",
+        "_np_post",
+        "_nhops_valid",
         "_neighbor_dicts",
         "_out_edges",
         "_mask_cache",
@@ -210,7 +292,13 @@ class RoutingContext:
         "_sweep_owner",
     )
 
-    def __init__(self, graph: ASGraph) -> None:
+    def __init__(
+        self,
+        graph: ASGraph,
+        *,
+        vectorized: bool | None = None,
+        shared: bool = False,
+    ) -> None:
         self.graph = graph
         asn_of, index_of = graph.dense_index()
         n = len(asn_of)
@@ -219,6 +307,13 @@ class RoutingContext:
                 f"graph has {n} ASes; the packed-key engine supports up to "
                 f"{(1 << PACK_SHIFT) - 1}"
             )
+        if vectorized is None:
+            vectorized = _np is not None and n >= VECTORIZED_MIN_N
+        elif vectorized and _np is None:  # pragma: no cover - numpy baked in
+            raise RuntimeError("vectorized routing requires numpy")
+        #: True when fixing passes run the numpy bucket kernel
+        #: (:meth:`_run_np`) instead of the pure-python heap loop.
+        self.vectorized = bool(vectorized)
         # Copy: dense_index's lists are shared graph-wide caches, and
         # ctx.asns has always been safe for callers to mutate.
         self.asns: list[int] = list(asn_of)
@@ -232,7 +327,6 @@ class RoutingContext:
         adj_node = array("l")
         adj_class = bytearray()
         adj_custflag = bytearray()
-        edges: list[list[int]] = []
         cust = int(RouteClass.CUSTOMER)
         peer = int(RouteClass.PEER)
         prov = int(RouteClass.PROVIDER)
@@ -243,26 +337,21 @@ class RoutingContext:
             providers_idx.append(tuple(providers))
             peers_idx.append(tuple(peers))
             customers_idx.append(tuple(customers))
-            packed: list[int] = []
             # A provider p sees a route via its customer u as a customer
             # route; a peer sees a peer route; a customer a provider route.
             for p in providers:
                 adj_node.append(p)
                 adj_class.append(cust)
                 adj_custflag.append(0)
-                packed.append((p << 3) | (cust << 1))
             for q in peers:
                 adj_node.append(q)
                 adj_class.append(peer)
                 adj_custflag.append(0)
-                packed.append((q << 3) | (peer << 1))
             for c in customers:
                 adj_node.append(c)
                 adj_class.append(prov)
                 adj_custflag.append(1)
-                packed.append((c << 3) | (prov << 1) | 1)
             adj_start.append(len(adj_node))
-            edges.append(packed)
         self.adj_start = adj_start
         self.adj_node = adj_node
         self.adj_class = adj_class
@@ -270,8 +359,28 @@ class RoutingContext:
         self.providers_idx = providers_idx
         self.customers_idx = customers_idx
         self.peers_idx = peers_idx
-        #: hot-loop adjacency: per-node lists of ``(v << 3)|(class << 1)|cust``.
-        self._edges = edges
+        #: packed rank-key coefficient rows (one per classic security
+        #: model) — only materialized when the CSR lives in a shared
+        #: arena, where workers read them from the same segment.
+        self.rank_coeffs = None
+        #: :class:`repro.core.shm.SharedArena` holding the frozen CSR
+        #: buffers, or None when they live in ordinary process memory.
+        self.shared_arena = None
+        if shared:
+            self._share_buffers()
+        # Hot-loop adjacency for the pure kernel: per-node lists of
+        # ``(v << 3)|(class << 1)|cust``.  Derived from the CSR; built
+        # lazily on vectorized contexts, which usually never need it.
+        self._edges_cache: list[list[int]] | None = (
+            None if self.vectorized else self._build_edges()
+        )
+        self._np_adj: tuple | None = None
+        self._np_scratch: dict | None = None
+        self._np_post: tuple | None = None
+        #: False while the scratch ``_nhops`` lists are stale relative to
+        #: the numpy scratch arrays (the bucket kernel defers building
+        #: them; :meth:`_materialize_nhops` catches up on demand).
+        self._nhops_valid = True
         self._neighbor_dicts: tuple[dict, dict, dict] | None = None
         self._out_edges: dict | None = None
         self._mask_cache: dict = {}
@@ -300,6 +409,139 @@ class RoutingContext:
         #: snapshot instead of delta-fixing garbage; weak so a finished
         #: sweep's O(V+E) snapshot is not pinned alive by the context.
         self._sweep_owner: "weakref.ref[DestinationSweep] | None" = None
+
+    # ------------------------------------------------------------------
+    # Adjacency representations and shared-memory placement
+    # ------------------------------------------------------------------
+    def _build_edges(self) -> list[list[int]]:
+        """Per-node packed-edge lists, derived from the CSR buffers."""
+        n = self.n
+        if _np is not None:
+            np = _np
+            node = np.asarray(self.adj_node, dtype=np.int64)
+            cls_e = _u8(self.adj_class).astype(np.int64)
+            cf = _u8(self.adj_custflag).astype(np.int64)
+            packed = ((node << 3) | (cls_e << 1) | cf).tolist()
+            starts = np.asarray(self.adj_start, dtype=np.int64).tolist()
+            return [packed[starts[u] : starts[u + 1]] for u in range(n)]
+        start = self.adj_start
+        node = self.adj_node
+        cls_e = self.adj_class
+        cf = self.adj_custflag
+        return [
+            [
+                (node[j] << 3) | (cls_e[j] << 1) | cf[j]
+                for j in range(start[u], start[u + 1])
+            ]
+            for u in range(n)
+        ]
+
+    @property
+    def _edges(self) -> list[list[int]]:
+        """Hot-loop adjacency of the pure kernel (lazy on vectorized
+        contexts, which only need it for delta re-fixing sweeps)."""
+        edges = self._edges_cache
+        if edges is None:
+            edges = self._edges_cache = self._build_edges()
+        return edges
+
+    def _share_buffers(self) -> None:
+        """Move the frozen CSR + rank-coefficient buffers into one
+        shared-memory segment and rebind them as zero-copy views.
+
+        Fork workers then read a single physical mapping instead of
+        dirtying copy-on-write pages through refcount churn (see
+        :mod:`repro.core.shm`).  Call :meth:`close` (or rely on the shm
+        module's atexit hook) to unlink the segment.
+        """
+        from .shm import HAVE_SHARED_MEMORY, SharedArena
+
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - numpy baked in
+            raise RuntimeError(
+                "shared routing contexts need numpy and "
+                "multiprocessing.shared_memory"
+            )
+        np = _np
+        coeffs = np.array(
+            [m.packed_coeffs() for m in _COEFF_MODELS], dtype=np.int64
+        )
+        arena = SharedArena(
+            {
+                "adj_start": np.asarray(self.adj_start, dtype=np.int64),
+                "adj_node": np.asarray(self.adj_node, dtype=np.int64),
+                "adj_class": _u8(self.adj_class),
+                "adj_custflag": _u8(self.adj_custflag),
+                "rank_coeffs": coeffs,
+            },
+            prefix="repro-ctx",
+        )
+        self.shared_arena = arena
+        self.adj_start = arena.array("adj_start")
+        self.adj_node = arena.array("adj_node")
+        self.adj_class = arena.array("adj_class")
+        self.adj_custflag = arena.array("adj_custflag")
+        self.rank_coeffs = arena.array("rank_coeffs")
+
+    def close(self) -> None:
+        """Unlink the shared-memory segment, if any (idempotent).
+
+        Live views — including those in forked workers — stay valid;
+        only the ``/dev/shm`` name goes away.  No-op for contexts whose
+        buffers live in ordinary process memory.
+        """
+        arena = self.shared_arena
+        if arena is not None:
+            arena.close()
+
+    def __enter__(self) -> "RoutingContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _np_adjacency(self):
+        """Int64/bool CSR views for the vectorized kernel (cached)."""
+        adj = self._np_adj
+        if adj is None:
+            np = _np
+            start = np.ascontiguousarray(self.adj_start, dtype=np.int64)
+            node = np.ascontiguousarray(self.adj_node, dtype=np.int64)
+            cls_e = _u8(self.adj_class).astype(np.int64)
+            cf_b = _u8(self.adj_custflag).astype(np.bool_)
+            esrc = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(start)
+            )
+            adj = self._np_adj = (start, node, cls_e, cf_b, esrc)
+        return adj
+
+    def _np_ensure_scratch(self) -> dict:
+        """Reusable numpy scratch arrays for :meth:`_run_np`."""
+        st = self._np_scratch
+        if st is None:
+            np = _np
+            n = self.n
+            st = self._np_scratch = {
+                # tentative keys still in the "queue" (fixed → _NP_INF)
+                "keyq": np.empty(n, np.int64),
+                # final fixed keys (write-back maps _NP_INF → _INF)
+                "key": np.empty(n, np.int64),
+                "cls": np.zeros(n, np.int64),
+                "len": np.zeros(n, np.int64),
+                "reach": np.empty(n, np.int64),
+                "wire": np.empty(n, np.int64),
+                "sec": np.empty(n, np.int64),
+                "choice": np.empty(n, np.int64),
+                # running min of tying offerers (the lowest-index
+                # tiebreak; == choice once fixed)
+                "chacc": np.empty(n, np.int64),
+                "endp": np.empty(n, np.int64),
+                "fixed": np.empty(n, np.bool_),
+                # round in which each node fixed (roots: 0) — the fix
+                # *chronology*, which under security-1st/2nd placements
+                # is not the key order (see _run_np on flip offers)
+                "forder": np.empty(n, np.int64),
+            }
+        return st
 
     # ------------------------------------------------------------------
     # ASN-keyed compatibility views (built lazily; the engine itself
@@ -444,7 +686,10 @@ class RoutingContext:
         for normal conditions; ``attack`` parameterizes how the attacker
         root announces).  Results live in the scratch arrays and
         :attr:`_last_counts` until the next run."""
+        if self.vectorized:
+            return self._run_np(dest_i, att_i, signing, ranking, model, attack)
         self._sweep_owner = None
+        self._nhops_valid = True
         n = self.n
         fixed = self._fixed
         key_l = self._key
@@ -575,6 +820,297 @@ class RoutingContext:
 
         self._last_counts = (happy_lo, happy_up, att_lo, att_up, secure_n, nfixed)
 
+    def _run_np(
+        self,
+        dest_i: int,
+        att_i: int,
+        signing: bytearray,
+        ranking: bytearray,
+        model: RankModel,
+        attack: ResolvedAttack = DEFAULT_RESOLVED,
+    ) -> None:
+        """Vectorized twin of :meth:`_run`: a bucket-Dijkstra sweep.
+
+        For offers that keep the receiver's security bit equal to the
+        sender's, rank keys are strictly monotone (LP buckets never
+        shrink along an export-legal edge and length always grows), so
+        every node holding the current *global minimum* tentative key is
+        final and each round can fix the whole minimum-key bucket at
+        once, relaxing all its out-edges in one batch of numpy
+        gathers/scatters.  The number of such rounds is bounded by the
+        number of *distinct* packed keys — a few dozen ``(class,
+        length, security)`` combinations at any graph size — so
+        per-node python overhead vanishes.
+
+        The exception is a **flip offer**: a simplex AS whose own route
+        ranks insecure (it does not rank) but stays wire-secure (it
+        signs) offers a *secure* route to a ranking neighbor, and under
+        the security-1st/2nd placements that offer's key is *smaller*
+        than the sender's.  The pure heap pops such undercut work
+        before the rest of the sender's bucket, so to stay bit-identical
+        the sweep fixes flip-capable members of insecure buckets one at
+        a time (re-taking the global minimum after each, which walks
+        any undercut cascade exactly like the heap does).  Buckets and
+        bucket prefixes without flip-capable members batch as usual —
+        deployments without simplex members never leave the fast path.
+
+        State is written back into the ordinary scratch buffers so every
+        consumer (snapshots, delta sweeps, counts) sees bit-identical
+        values to the pure kernel; only the per-node next-hop lists are
+        deferred (see :meth:`_materialize_nhops`).
+        """
+        np = _np
+        self._sweep_owner = None
+        n = self.n
+        start, node, cls_e, cf_b, _esrc = self._np_adjacency()
+        st = self._np_ensure_scratch()
+        keyq = st["keyq"]
+        key_real = st["key"]
+        cls_s = st["cls"]
+        len_s = st["len"]
+        reach_s = st["reach"]
+        wire_s = st["wire"]
+        sec_s = st["sec"]
+        choice_s = st["choice"]
+        chacc = st["chacc"]
+        endp_s = st["endp"]
+        fixed_s = st["fixed"]
+        forder = st["forder"]
+        keyq.fill(_NP_INF)
+        forder.fill(0)
+        key_real.fill(_NP_INF)
+        reach_s.fill(0)
+        wire_s.fill(0)
+        sec_s.fill(0)
+        choice_s.fill(-1)
+        chacc.fill(n)
+        endp_s.fill(0)
+        fixed_s.fill(False)
+        # Copies: a sweep may mutate its private mask bytearrays after
+        # this pass, and _materialize_nhops re-reads the ranking mask.
+        rank_np = np.frombuffer(ranking, dtype=np.uint8).astype(np.int64)
+        sign_np = np.frombuffer(signing, dtype=np.uint8).astype(np.int64)
+        key_of = _np_key_fn(model)
+        uses_sec = model.uses_security
+
+        int64 = np.int64
+        arange = np.arange
+
+        def relax(F, exp_src, ln_src, wire_src, reach_src):
+            """Batch-relax every out-edge of the just-fixed sources F."""
+            s = start[F]
+            cnt = start[F + 1] - s
+            tot = int(cnt.sum())
+            if not tot:
+                return
+            # Edge indices of all of F's out-edges, F-order: for each
+            # source its CSR slice, concatenated.
+            cend = np.cumsum(cnt)
+            eidx = np.repeat(s - (cend - cnt), cnt) + arange(tot)
+            rep = np.repeat(arange(len(F)), cnt)
+            v = node[eidx]
+            ok = (exp_src[rep] | cf_b[eidx]) & ~fixed_s[v]
+            if not ok.any():
+                return
+            eidx = eidx[ok]
+            v = v[ok]
+            rep = rep[ok]
+            vcls = cls_e[eidx]
+            ln = ln_src[rep]
+            wi = wire_src[rep]
+            k = key_of(vcls, ln, wi & rank_np[v])
+            old = keyq[v]  # gather (a copy): pre-round tentative keys
+            np.minimum.at(keyq, v, k)
+            new = keyq[v]  # post-round tentative keys, per edge
+            improved = new < old
+            if improved.any():
+                # Strict improvement resets the accumulators of the
+                # *target*, exactly like the pure kernel's k < cur arm
+                # (reach/wire/chacc re-accumulate from the identity).
+                iv = v[improved]
+                reach_s[iv] = 0
+                wire_s[iv] = 1
+                chacc[iv] = n
+            tie = k == new
+            tv = v[tie]
+            # All edges tying a target's tentative key share one
+            # (class, length): packing is injective in them.
+            cls_s[tv] = vcls[tie]
+            len_s[tv] = ln[tie]
+            np.bitwise_or.at(reach_s, tv, reach_src[rep[tie]])
+            np.minimum.at(wire_s, tv, wi[tie])
+            np.minimum.at(chacc, tv, F[rep[tie]])
+
+        # Roots (same semantics as the pure kernel's init block).
+        dest_signed = 1 if signing[dest_i] else 0
+        fixed_s[dest_i] = True
+        len_s[dest_i] = 0
+        reach_s[dest_i] = 1
+        endp_s[dest_i] = 1
+        wire_s[dest_i] = dest_signed
+        sec_s[dest_i] = dest_signed
+        att_active = attack.active
+        att_wire = 1 if attack.wire else 0
+        if att_i >= 0:
+            fixed_s[att_i] = True
+            len_s[att_i] = attack.length
+            if att_active:
+                reach_s[att_i] = 2
+                endp_s[att_i] = 2
+            wire_s[att_i] = att_wire
+        relax(
+            np.array([dest_i], dtype=int64),
+            np.ones(1, dtype=np.bool_),
+            np.ones(1, dtype=int64),
+            np.array([dest_signed], dtype=int64),
+            np.ones(1, dtype=int64),
+        )
+        if att_i >= 0 and att_active:
+            relax(
+                np.array([att_i], dtype=int64),
+                np.array([attack.export_all], dtype=np.bool_),
+                np.array([attack.length + 1], dtype=int64),
+                np.array([att_wire], dtype=int64),
+                np.array([2], dtype=int64),
+            )
+
+        placement = model.model
+        if placement is SecurityModel.FIRST:
+            insec_shift = 2 * PACK_SHIFT
+        elif placement is SecurityModel.SECOND:
+            insec_shift = PACK_SHIFT
+        else:
+            insec_shift = -1  # baseline/3rd: keys are strictly monotone
+
+        rounds = 0
+        while True:
+            gmin = int(keyq.min())
+            if gmin >= _NP_INF:
+                break
+            B = np.flatnonzero(keyq == gmin)
+            if insec_shift >= 0 and (gmin >> insec_shift) & 1:
+                # Insecure bucket under a flip-prone placement: batch
+                # only up to the first flip-capable member (equal keys
+                # pop in index order in the pure heap, and flatnonzero
+                # is ascending, so B[0] is the heap's next pop).
+                flips = np.flatnonzero(wire_s[B] & sign_np[B])
+                if len(flips):
+                    B = B[: max(int(flips[0]), 1)]
+            rounds += 1
+            keyq[B] = _NP_INF
+            key_real[B] = gmin
+            fixed_s[B] = True
+            forder[B] = rounds
+            ch = chacc[B]
+            choice_s[B] = ch
+            endp_s[B] = endp_s[ch]
+            w = wire_s[B]
+            if uses_sec:
+                sec_s[B] = w & rank_np[B]
+            wire_s[B] = w & sign_np[B]
+            relax(B, cls_s[B] == 0, len_s[B] + 1, wire_s[B], reach_s[B])
+
+        counted = fixed_s.copy()
+        counted[dest_i] = False
+        if att_i >= 0:
+            counted[att_i] = False
+        r = reach_s[counted]
+        nfixed = int(counted.sum())
+        happy_lo = int((r == 1).sum())
+        att_lo = int((r == 2).sum())
+        both = int((r == 3).sum())
+        self._last_counts = (
+            happy_lo,
+            happy_lo + both,
+            att_lo,
+            att_lo + both,
+            int(sec_s[counted].sum()),
+            nfixed,
+        )
+
+        # Write back into the ordinary scratch buffers so python-side
+        # consumers (snapshots, delta sweeps) see pure-kernel values.
+        self._fixed[:] = fixed_s.tobytes()
+        self._cls[:] = cls_s.astype(np.uint8).tobytes()
+        self._reach[:] = reach_s.astype(np.uint8).tobytes()
+        self._wire[:] = wire_s.astype(np.uint8).tobytes()
+        self._sec[:] = sec_s.astype(np.uint8).tobytes()
+        self._endpoint[:] = endp_s.astype(np.uint8).tobytes()
+        self._len[:] = len_s.tolist()
+        self._choice[:] = choice_s.tolist()
+        key_list = key_real.tolist()
+        for i in np.flatnonzero(key_real == _NP_INF).tolist():
+            key_list[i] = _INF
+        self._key[:] = key_list
+        self._nhops_valid = False
+        self._np_post = (dest_i, att_i, att_active, attack.export_all, key_of, rank_np)
+
+    def _materialize_nhops(self) -> None:
+        """Build the per-node next-hop lists the bucket kernel defers.
+
+        Membership is decided arithmetically instead of by accumulating
+        lists during the sweep: ``u ∈ nhops[v]`` iff both are fixed,
+        ``u``'s export rule admits the edge, ``v`` is not a root,
+        ``u``'s offer key equals ``v``'s final key, **and** ``u`` fixed
+        chronologically before ``v`` (the pure kernel only records
+        offers made while ``v`` was still tentative; under the
+        security-1st/2nd placements a flip offer can tie ``v``'s key
+        from a node fixed later, so key comparison alone over-counts).
+        One whole-CSR batch evaluates every edge at once; count-only
+        workloads never pay for it.  Lists come out sorted by sender
+        index (the pure kernel's are in fix order, which no consumer
+        observes: they are read as sets, minima, or sorted).
+        """
+        if self._nhops_valid:
+            return
+        self._nhops_valid = True
+        np = _np
+        dest_i, att_i, att_active, att_exp, key_of, rank_np = self._np_post
+        start, node, cls_e, cf_b, esrc = self._np_adjacency()
+        st = self._np_scratch
+        fixed_s = st["fixed"]
+        key_real = st["key"]
+        cls_s = st["cls"]
+        len_s = st["len"]
+        wire_s = st["wire"]
+        forder = st["forder"]
+        u = esrc
+        v = node
+        exp = (cls_s[u] == 0) | cf_b
+        # Root overrides: the origin exports to everyone; the attacker
+        # per its resolved strategy (len_s/wire_s already hold the root
+        # values the pure kernel relaxes with, so ln/wire need none).
+        exp |= u == dest_i
+        sel = fixed_s[u] & fixed_s[v] & (v != dest_i)
+        if att_i >= 0:
+            au = u == att_i
+            if not att_active:
+                exp &= ~au
+            elif not att_exp:
+                exp = np.where(au, cf_b, exp)
+            else:
+                exp |= au
+            sel &= v != att_i
+        sel &= exp
+        us = u[sel]
+        vs = v[sel]
+        k = key_of(cls_e[sel], len_s[us] + 1, wire_s[us] & rank_np[vs])
+        keep = (k == key_real[vs]) & (forder[us] < forder[vs])
+        us = us[keep]
+        vs = vs[keep]
+        nhops = self._nhops
+        nhops[:] = self._nhops_init
+        if len(vs):
+            order = np.argsort(vs * self.n + us)
+            vs = vs[order]
+            us_list = us[order].tolist()
+            bounds = np.flatnonzero(np.diff(vs)).tolist()
+            starts = [0, *(b + 1 for b in bounds)]
+            ends = [*bounds, len(us_list) - 1]
+            heads = vs[np.asarray(starts, dtype=np.int64)].tolist()
+            for vv, a, b in zip(heads, starts, ends):
+                nhops[vv] = us_list[a : b + 1]
+
     def _snapshot(
         self,
         destination: int,
@@ -586,6 +1122,7 @@ class RoutingContext:
         attack: AttackStrategy = DEFAULT_ATTACK,
         resolved: ResolvedAttack = DEFAULT_RESOLVED,
     ) -> "RoutingOutcome":
+        self._materialize_nhops()
         return RoutingOutcome(
             destination=destination,
             attacker=attacker,
@@ -1082,6 +1619,7 @@ class DestinationSweep:
         a plain :class:`DestinationSweep` never mutates them.
         """
         ctx = self.ctx
+        ctx._materialize_nhops()
         n = ctx.n
         self._b_fixed = bytearray(ctx._fixed)
         self._b_key = list(ctx._key)
@@ -1179,6 +1717,7 @@ class DestinationSweep:
         ctx._choice[:] = self._b_choice
         ctx._endpoint[:] = self._b_endpoint
         ctx._nhops[:] = self._b_nhops
+        ctx._nhops_valid = True
         ctx._sweep_owner = weakref.ref(self)
 
     def _restore(self, touched: list[int]) -> None:

@@ -1,0 +1,177 @@
+"""Zero-copy shared-memory arenas for frozen routing-context buffers.
+
+Fork workers already inherit the parent's :class:`~repro.core.routing.
+RoutingContext` via copy-on-write pages, but CPython's reference
+counting *writes* to every object header it touches, so the "shared"
+adjacency lists are gradually duplicated into every worker's resident
+set.  At the ``large`` scale (~80k ASes, ~10^6 directed edges) that
+churn costs hundreds of MB per worker.  A :class:`SharedArena` instead
+packs the frozen buffers — the CSR adjacency and the packed rank-key
+coefficient table — into one ``multiprocessing.shared_memory`` segment
+exposed as numpy views.  Numpy array *data* carries no refcounts, so
+forked workers read the single physical mapping forever; only the tiny
+ndarray wrapper objects are per-process.
+
+Lifecycle
+---------
+Segments live in ``/dev/shm`` and outlive their creator unless
+unlinked, so crashed runs can leak them.  Three layers prevent that:
+
+* :meth:`SharedArena.close` unlinks the segment by name (idempotent,
+  creator-only).  Crucially it does **not** unmap it: POSIX keeps an
+  unlinked mapping valid until the last process exits, so views handed
+  out earlier keep working while the name is already gone from
+  ``/dev/shm`` — there is no use-after-close hazard.
+* every arena is tracked in a module registry flushed by an ``atexit``
+  hook (:func:`close_all`), so normal interpreter shutdown — including
+  a ``SystemExit`` raised by the CLI's SIGTERM handler — unlinks every
+  live segment even when nobody called ``close()``.
+* Python's own ``resource_tracker`` remains as the backstop for hard
+  kills of the whole process tree.
+
+The module degrades gracefully: without numpy (or on platforms without
+``multiprocessing.shared_memory``) :data:`HAVE_SHARED_MEMORY` is False
+and callers fall back to plain in-process buffers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+try:  # pragma: no cover - exercised implicitly on import
+    from multiprocessing import shared_memory as _shm
+except ImportError:  # pragma: no cover - platform without shm support
+    _shm = None
+
+#: True when shared-memory arenas can be created on this interpreter.
+HAVE_SHARED_MEMORY = _np is not None and _shm is not None
+
+#: name → live :class:`SharedArena` created by this process (strong
+#: references: an arena must stay unlink-able until process exit even
+#: if the owning context was dropped without ``close()``).
+_LIVE: dict[str, "SharedArena"] = {}
+
+
+def active_segments() -> tuple[str, ...]:
+    """Names of the segments this process created and not yet unlinked."""
+    return tuple(name for name, arena in _LIVE.items() if not arena.closed)
+
+
+def close_all() -> None:
+    """Unlink every live arena created by this process (atexit hook)."""
+    for arena in list(_LIVE.values()):
+        arena.close()
+
+
+atexit.register(close_all)
+
+
+def _align(offset: int, alignment: int = 8) -> int:
+    return (offset + alignment - 1) & ~(alignment - 1)
+
+
+class SharedArena:
+    """One shared-memory segment holding named frozen numpy arrays.
+
+    Arrays are copied in at construction and exposed as read-write
+    views via :meth:`array` (callers treat them as frozen; the engine
+    never mutates adjacency after construction).  The arena is created
+    by exactly one process; fork children inherit the mapping and the
+    views zero-copy.
+
+    Example:
+        >>> import numpy as np
+        >>> arena = SharedArena({"xs": np.arange(4, dtype=np.int64)})
+        >>> arena.array("xs").tolist()
+        [0, 1, 2, 3]
+        >>> arena.closed
+        False
+        >>> arena.close()   # idempotent; unlinks /dev/shm entry
+        >>> arena.closed
+        True
+        >>> arena.array("xs").tolist()   # views survive the unlink
+        [0, 1, 2, 3]
+    """
+
+    __slots__ = (
+        "name",
+        "creator_pid",
+        "_segment",
+        "_views",
+        "_closed",
+        "__weakref__",
+    )
+
+    def __init__(self, arrays: dict[str, "object"], prefix: str = "repro"):
+        if not HAVE_SHARED_MEMORY:  # pragma: no cover - numpy baked in
+            raise RuntimeError(
+                "shared-memory arenas need numpy and "
+                "multiprocessing.shared_memory"
+            )
+        plan: list[tuple[str, "object", int]] = []
+        offset = 0
+        for name, arr in arrays.items():
+            arr = _np.ascontiguousarray(arr)
+            offset = _align(offset)
+            plan.append((name, arr, offset))
+            offset += arr.nbytes
+        size = max(1, offset)
+        self.name = f"{prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+        self.creator_pid = os.getpid()
+        self._segment = _shm.SharedMemory(
+            name=self.name, create=True, size=size
+        )
+        self._closed = False
+        views: dict[str, "object"] = {}
+        buf = self._segment.buf
+        for name, arr, off in plan:
+            view = _np.ndarray(
+                arr.shape, dtype=arr.dtype, buffer=buf, offset=off
+            )
+            view[...] = arr
+            views[name] = view
+        self._views = views
+        _LIVE[self.name] = self
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def size(self) -> int:
+        """Segment size in bytes."""
+        return self._segment.size
+
+    def array(self, name: str):
+        """The named array, viewing the shared segment zero-copy."""
+        return self._views[name]
+
+    def arrays(self) -> dict[str, "object"]:
+        """All views, by name."""
+        return dict(self._views)
+
+    def close(self) -> None:
+        """Unlink the segment (creator only; idempotent).
+
+        Existing views — in this process and in forked workers — stay
+        valid: the kernel frees the memory when the last mapping goes
+        away, but the ``/dev/shm`` name is gone immediately, so crashed
+        *future* runs cannot observe or accumulate stale segments.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE.pop(self.name, None)
+        if os.getpid() != self.creator_pid:  # pragma: no cover - fork child
+            return
+        try:
+            self._segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass

@@ -26,6 +26,7 @@ scenario.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 
@@ -130,7 +131,30 @@ def _store_summary(store: ResultStore | None) -> str:
     )
 
 
+def _install_sigterm_handler() -> None:
+    """Turn SIGTERM into ``SystemExit`` so teardown hooks run.
+
+    The default SIGTERM disposition kills the process without
+    unwinding, leaving the fork pool's workers to be reaped by init and
+    — worse — any shared-memory arenas named in ``/dev/shm`` forever.
+    Raising ``SystemExit(128 + signum)`` instead unwinds through the
+    ``finally`` blocks below and the atexit hooks
+    (:func:`repro.experiments.runner._close_live_contexts`,
+    :func:`repro.core.shm.close_all`), which terminate the pool and
+    unlink every live segment.
+    """
+
+    def _raise(signum, frame):  # pragma: no cover - signal path
+        raise SystemExit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+
+
 def main(argv: list[str] | None = None) -> int:
+    _install_sigterm_handler()
     args = build_parser().parse_args(argv)
     if args.command == "list":
         print(f"{'id':14s} {'paper ref':28s} {'ixp rerun':9s} title")

@@ -9,7 +9,9 @@ and the cost dial is explicit:
 * ``tiny``   — seconds; used by the test suite and pytest-benchmark;
 * ``small``  — tens of seconds; quick interactive runs;
 * ``medium`` — minutes; the default for regenerating EXPERIMENTS.md;
-* ``large``  — tens of minutes; closest to the paper's shapes.
+* ``large``  — hours; an internet-scale (~80k-AS, CAIDA-shaped) graph
+  matching the paper's population, runnable on one machine via the
+  shared-memory / vectorized routing tier (see ARCHITECTURE.md).
 """
 
 from __future__ import annotations
@@ -38,6 +40,11 @@ class Scale:
             sequences (Figures 9, 10, 12).
         perdest_attackers: attackers per destination in those sequences.
         cp_attackers: attackers per content provider in Figure 13.
+        stratified_pairs: draw graph-wide pair samples with
+            degree-stratified destinations
+            (:func:`repro.experiments.sampling.sample_pairs_stratified`)
+            so a few hundred samples of a ~10^9-pair population keep
+            every degree class represented.
     """
 
     name: str
@@ -49,6 +56,7 @@ class Scale:
     perdest_destinations: int
     perdest_attackers: int
     cp_attackers: int
+    stratified_pairs: bool = False
 
 
 SCALES: dict[str, Scale] = {
@@ -87,16 +95,22 @@ SCALES: dict[str, Scale] = {
             perdest_attackers=14,
             cp_attackers=10,
         ),
+        # Internet scale: the paper's ~75-80k-AS population.  Budgets
+        # stay sample-based (the full cross product is ~6.4 * 10^9
+        # pairs); destination sampling is degree-stratified so the
+        # stub-dominated degree distribution cannot starve the sparse
+        # high-degree strata at these sampling ratios.
         Scale(
             name="large",
-            n=4500,
-            pair_samples=220,
+            n=80_000,
+            pair_samples=400,
             tier_destinations=24,
             tier_attackers=10,
-            rollout_pairs=150,
-            perdest_destinations=80,
-            perdest_attackers=18,
-            cp_attackers=14,
+            rollout_pairs=120,
+            perdest_destinations=64,
+            perdest_attackers=12,
+            cp_attackers=10,
+            stratified_pairs=True,
         ),
     )
 }

@@ -24,11 +24,22 @@ def _plan(ectx: ExperimentContext) -> dict[str, EvalRequest]:
     def build() -> dict[str, EvalRequest]:
         rng = ectx.rng("baseline")
         asns = ectx.graph.asns
-        pairs = sampling.sample_pairs(rng, asns, asns, ectx.scale.pair_samples)
-        nonstub = sampling.nonstub_attackers(ectx.tiers)
-        pairs_ns = sampling.sample_pairs(
-            rng, nonstub, asns, ectx.scale.pair_samples
-        )
+
+        def draw(attackers):
+            if ectx.scale.stratified_pairs:
+                return sampling.sample_pairs_stratified(
+                    rng,
+                    attackers,
+                    asns,
+                    ectx.scale.pair_samples,
+                    ectx.graph.degree,
+                )
+            return sampling.sample_pairs(
+                rng, attackers, asns, ectx.scale.pair_samples
+            )
+
+        pairs = draw(asns)
+        pairs_ns = draw(sampling.nonstub_attackers(ectx.tiers))
         empty = Deployment.empty()
         return {
             "all": request_for(ectx, pairs, empty, BASELINE),

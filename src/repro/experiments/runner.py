@@ -35,8 +35,10 @@ Two layers live here:
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import random
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
 
@@ -49,7 +51,8 @@ from ..core.metrics import (
     rollout_happiness,
 )
 from ..core.rank import RankModel
-from ..core.routing import RoutingContext
+from ..core.routing import VECTORIZED_MIN_N, RoutingContext
+from ..core.shm import HAVE_SHARED_MEMORY
 from ..topology.generate import SyntheticTopology, TopologyParams, generate_topology
 from ..topology.ixp import augment_with_ixp_peering
 from ..topology.tiers import TierTable, classify_tiers
@@ -67,6 +70,23 @@ T = TypeVar("T")
 #: via copy-on-write) and cleared immediately after; workers read their
 #: inherited copy inside :func:`_run_task`.
 _WORKER_CTX: "ExperimentContext | None" = None
+
+#: Every context built by :func:`make_context`, weakly held, so an
+#: interpreter exit — including the ``SystemExit`` raised by the CLI's
+#: SIGTERM handler — tears down pools and shared-memory arenas even for
+#: contexts nobody closed (see :func:`_close_live_contexts`).
+_LIVE_CONTEXTS: "weakref.WeakValueDictionary[int, ExperimentContext]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def _close_live_contexts() -> None:  # pragma: no cover - atexit path
+    """atexit hook: close every still-open experiment context."""
+    for ectx in list(_LIVE_CONTEXTS.values()):
+        ectx.close()
+
+
+atexit.register(_close_live_contexts)
 
 
 def _run_task(task: tuple) -> object:
@@ -262,11 +282,19 @@ class ExperimentContext:
         return pool.map(_run_task, tasks, chunksize=chunksize)
 
     def close(self) -> None:
-        """Shut down the persistent pool (no-op if never forked)."""
+        """Release owned OS resources (idempotent).
+
+        Shuts down the persistent fork pool (no-op if never forked) and
+        unlinks the routing context's shared-memory arena, if any.  Runs
+        on every exit path: ``with`` blocks and explicit calls on the
+        happy path, the module atexit hook (which the CLI's SIGTERM
+        handler reaches via ``SystemExit``) on interrupted ones.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self.graph_ctx.close()
 
     def __enter__(self) -> "ExperimentContext":
         return self
@@ -377,6 +405,8 @@ def make_context(
     attack: AttackStrategy | str = DEFAULT_ATTACK,
     rollout_major: bool = True,
     profile_path: str | None = None,
+    vectorized: bool | None = None,
+    shared_memory: bool | None = None,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext`.
 
@@ -394,6 +424,14 @@ def make_context(
             evaluation; results are bit-identical either way).
         profile_path: dump cProfile stats of the first evaluated
             scenario to this path (the CLI's ``--profile``).
+        vectorized: force the numpy bucket kernel on (True) or off
+            (False); None picks it automatically for graphs of
+            :data:`repro.core.routing.VECTORIZED_MIN_N` ASes or more.
+        shared_memory: place the frozen routing buffers in a
+            shared-memory arena (see :mod:`repro.core.shm`); None
+            enables it automatically for multi-process runs on
+            vectorized-sized graphs, where fork workers would otherwise
+            duplicate the adjacency via refcount churn.
     """
     scale_obj = scale if isinstance(scale, Scale) else get_scale(scale)
     if isinstance(attack, str):
@@ -402,13 +440,21 @@ def make_context(
     graph = topo.graph
     if ixp:
         graph = augment_with_ixp_peering(graph, topo.ixp_members).graph
+    if shared_memory is None:
+        shared_memory = (
+            HAVE_SHARED_MEMORY
+            and processes > 1
+            and scale_obj.n >= VECTORIZED_MIN_N
+        )
     tiers = classify_tiers(graph)
-    return ExperimentContext(
+    ectx = ExperimentContext(
         scale=scale_obj,
         seed=seed,
         ixp=ixp,
         topo=topo,
-        graph_ctx=RoutingContext(graph),
+        graph_ctx=RoutingContext(
+            graph, vectorized=vectorized, shared=shared_memory
+        ),
         tiers=tiers,
         catalog=ScenarioCatalog(graph, tiers),
         processes=processes,
@@ -416,6 +462,8 @@ def make_context(
         rollout_major=rollout_major,
         profile_path=profile_path,
     )
+    _LIVE_CONTEXTS[id(ectx)] = ectx
+    return ectx
 
 
 def cached(ectx: ExperimentContext, key: str, build: Callable[[], T]) -> T:

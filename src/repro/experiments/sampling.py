@@ -66,6 +66,78 @@ def sample_pairs(
     return sorted(pairs)
 
 
+#: Default destination-degree stratum boundaries for
+#: :func:`sample_pairs_stratified`: degree 1-2 (single/dual-homed
+#: stubs), 3-5 (multihomed stubs and small fringe), 6-25 (regional
+#: ISPs and peering stubs), >25 (large ISPs, Tier 1s, hyper-giants).
+DEFAULT_DEGREE_BOUNDARIES = (2, 5, 25)
+
+
+def sample_pairs_stratified(
+    rng: random.Random,
+    attackers: Sequence[int],
+    destinations: Sequence[int],
+    count: int,
+    degree_of,
+    boundaries: Sequence[int] = DEFAULT_DEGREE_BOUNDARIES,
+) -> list[tuple[int, int]]:
+    """Degree-stratified :func:`sample_pairs` over the destinations.
+
+    On internet-scale graphs the degree distribution is so skewed that
+    a uniform sample of a few hundred destinations from ~10^9 possible
+    pairs is, with high probability, all stubs — the high-degree strata
+    that dominate routing behavior go unobserved and the metric's
+    confidence interval silently stops covering them.  This sampler
+    partitions destinations into degree strata (``degree <=
+    boundaries[0]``, ..., ``degree > boundaries[-1]``), allocates the
+    pair budget proportionally to stratum size by largest remainder
+    with at least one pair per non-empty stratum, and draws each
+    stratum's pairs with :func:`sample_pairs` (so per-stratum draws
+    keep its exhaustive-enumeration and top-up guarantees).
+
+    Args:
+        rng: seeded generator; draws are reproducible.
+        attackers: attacker population (``m``), shared by all strata.
+        destinations: destination population (``d``) to stratify.
+        count: total number of pairs to draw.
+        degree_of: callable mapping an ASN to its (total) degree.
+        boundaries: ascending stratum upper bounds on degree.
+
+    Returns:
+        Sorted, distinct ``(m, d)`` pairs with ``m != d``.
+    """
+    if not attackers or not destinations or count <= 0:
+        return []
+    strata: list[list[int]] = [[] for _ in range(len(boundaries) + 1)]
+    for d in destinations:
+        deg = degree_of(d)
+        for s, bound in enumerate(boundaries):
+            if deg <= bound:
+                strata[s].append(d)
+                break
+        else:
+            strata[-1].append(d)
+    occupied = [s for s in strata if s]
+    total = sum(len(s) for s in occupied)
+    # Largest-remainder (Hamilton) apportionment of the pair budget,
+    # with a floor of one pair per non-empty stratum.
+    quotas = [count * len(s) / total for s in occupied]
+    alloc = [max(1, int(q)) for q in quotas]
+    remainders = sorted(
+        range(len(occupied)),
+        key=lambda i: (quotas[i] - int(quotas[i]), len(occupied[i])),
+        reverse=True,
+    )
+    for i in remainders:
+        if sum(alloc) >= count:
+            break
+        alloc[i] += 1
+    pairs: set[tuple[int, int]] = set()
+    for members, quota in zip(occupied, alloc):
+        pairs.update(sample_pairs(rng, attackers, members, quota))
+    return sorted(pairs)
+
+
 def sample_members(
     rng: random.Random, population: Sequence[int], count: int
 ) -> list[int]:

@@ -101,6 +101,11 @@ class ResultStore:
         self._parsed: dict[str, dict] = {}
         self._handle = None
         self._reader = None
+        #: Byte offset just past the last *complete* indexed line; the
+        #: starting point for tail rescans (:meth:`_refresh`).  A
+        #: truncated trailing line never advances it, so an in-progress
+        #: write by another process is rescanned once it completes.
+        self._indexed_size = 0
         self._index()
 
     def _index(self) -> None:
@@ -118,34 +123,97 @@ class ResultStore:
         """
         if not self.path.exists():
             return
+        with open(self.path, "rb") as handle:
+            self._indexed_size = self._scan(handle, 0)
+
+    def _scan(self, handle, base: int) -> int:
+        """Index every complete record line from byte ``base`` onward.
+
+        ``handle`` must already be positioned at ``base``.  Returns the
+        offset just past the last complete line seen — the next scan's
+        starting point.
+        """
         prefix = _HASH_PREFIX
         plen = len(prefix)
-        offset = 0
+        offset = base
+        complete = base
+        for line in handle:
+            start = offset
+            offset += len(line)
+            if not line.endswith(b"\n"):
+                # Truncated tail from an interrupted (or in-progress)
+                # run; everything before it is intact, so skip rather
+                # than fail, and leave it out of ``complete`` so a
+                # later tail rescan picks it up once finished.
+                continue
+            complete = offset
+            if (
+                line.startswith(prefix)
+                and line.rstrip().endswith(b"}")
+                and b'"result"' in line
+            ):
+                end = line.find(b'"', plen)
+                if end > plen:
+                    scenario_hash = line[plen:end].decode("ascii")
+                    self._offsets[scenario_hash] = start
+                    # Newest wins: an earlier fallback-decoded record
+                    # for this hash must not shadow this line.
+                    self._parsed.pop(scenario_hash, None)
+                    continue
+            record = self._decode(line)
+            if record is not None:
+                self._offsets[record["hash"]] = start
+                self._parsed[record["hash"]] = record
+        return complete
+
+    def _refresh(self) -> None:
+        """Index records appended by other processes since the last scan.
+
+        Concurrent multi-process runs share one JSONL file via atomic
+        ``O_APPEND`` line writes; a store opened earlier would otherwise
+        keep reporting those scenarios as misses (and re-evaluate them)
+        until reopened.  Only the appended tail — from the last indexed
+        EOF — is scanned, so a refresh on every index miss stays O(new
+        data), not O(file).
+        """
+        try:
+            size = self.path.stat().st_size
+        except FileNotFoundError:
+            return
+        if size <= self._indexed_size:
+            return
+        reader = self._reader
+        if reader is None:
+            reader = self._reader = open(self.path, "rb")
+        reader.seek(self._indexed_size)
+        self._indexed_size = self._scan(reader, self._indexed_size)
+
+    def _rescan_before(self, scenario_hash: str, bad_offset: int) -> dict | None:
+        """Newest decodable record for a hash strictly before an offset.
+
+        Serves :meth:`get` when the indexed (newest) line for a hash
+        turns out to be undecodable: an older record it superseded is
+        still valid and must win over dropping the hash entirely.
+        Re-points the index at the record found, if any.
+        """
+        best = None
+        best_start = None
+        pos = 0
         with open(self.path, "rb") as handle:
             for line in handle:
-                start = offset
-                offset += len(line)
+                start = pos
+                pos += len(line)
+                if start >= bad_offset:
+                    break
                 if not line.endswith(b"\n"):
-                    # Truncated tail from an interrupted run; everything
-                    # before it is intact, so skip rather than fail.
                     continue
-                if (
-                    line.startswith(prefix)
-                    and line.rstrip().endswith(b"}")
-                    and b'"result"' in line
-                ):
-                    end = line.find(b'"', plen)
-                    if end > plen:
-                        scenario_hash = line[plen:end].decode("ascii")
-                        self._offsets[scenario_hash] = start
-                        # Newest wins: an earlier fallback-decoded record
-                        # for this hash must not shadow this line.
-                        self._parsed.pop(scenario_hash, None)
-                        continue
                 record = self._decode(line)
-                if record is not None:
-                    self._offsets[record["hash"]] = start
-                    self._parsed[record["hash"]] = record
+                if record is not None and record["hash"] == scenario_hash:
+                    best = record
+                    best_start = start
+        if best is not None:
+            self._offsets[scenario_hash] = best_start
+        return best
 
     @staticmethod
     def _decode(line: bytes) -> dict | None:
@@ -162,6 +230,8 @@ class ResultStore:
 
     # -- mapping views --------------------------------------------------
     def __contains__(self, scenario_hash: str) -> bool:
+        if scenario_hash not in self._offsets:
+            self._refresh()
         return scenario_hash in self._offsets
 
     def __len__(self) -> int:
@@ -175,6 +245,9 @@ class ResultStore:
         record = self._parsed.get(scenario_hash)
         if record is None:
             offset = self._offsets.get(scenario_hash)
+            if offset is None:
+                self._refresh()
+                offset = self._offsets.get(scenario_hash)
             if offset is None or offset == _IN_MEMORY:
                 return None
             reader = self._reader
@@ -183,13 +256,17 @@ class ResultStore:
             reader.seek(offset)
             record = self._decode(reader.readline())
             if record is None or record.get("hash") != scenario_hash:
-                # The indexed line no longer decodes to this record (the
-                # file changed underneath us, or record-shaped
-                # corruption slipped past the prefix check); drop it
-                # from the index so len()/hashes() self-correct, and
-                # treat as a miss.
-                self._offsets.pop(scenario_hash, None)
-                return None
+                # The indexed line no longer decodes to this record
+                # (record-shaped corruption slipped past the prefix
+                # check, or the file changed underneath us).  A valid
+                # older record this line superseded may still exist —
+                # newest-wins must not silently discard it — so re-find
+                # it before giving up; only when none exists is the hash
+                # dropped so len()/hashes() self-correct.
+                record = self._rescan_before(scenario_hash, offset)
+                if record is None:
+                    self._offsets.pop(scenario_hash, None)
+                    return None
             self._parsed[scenario_hash] = record
         return result_from_record(record["result"])
 

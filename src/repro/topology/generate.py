@@ -22,11 +22,18 @@ reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass, field
 
 from .graph import ASGraph
 from .tiers import PAPER_CONTENT_PROVIDERS
+
+#: Topologies at or above this many ASes default to the O(1)-per-draw
+#: preferential-attachment tables (:class:`_PATable`).  Below it the
+#: historical per-call weight recomputation is kept so existing seeded
+#: scales stay bit-identical.
+FAST_ATTACHMENT_MIN_N = 20_000
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,12 @@ class TopologyParams:
     cp_peering_frac: float = 0.25
     #: number of synthetic IXPs (0 disables membership generation).
     ixp_count: int | None = None
+    #: use O(1)-per-draw preferential-attachment tables instead of
+    #: recomputing O(|pool|) weight lists per AS; None = auto (on at
+    #: ``n >= FAST_ATTACHMENT_MIN_N``).  Same attachment distribution,
+    #: different RNG consumption — existing seeded scales stay below
+    #: the threshold and are bit-identical to the historical generator.
+    fast_attachment: bool | None = None
 
     def __post_init__(self) -> None:
         if self.n < 50:
@@ -84,10 +97,18 @@ class SyntheticTopology:
 def _pick_distinct(
     rng: random.Random,
     population: list[int],
-    weights: list[float],
+    weights: list[float] | None,
     k: int,
+    cum_weights: list[float] | None = None,
 ) -> list[int]:
-    """Sample up to ``k`` distinct elements, weighted, by rejection."""
+    """Sample up to ``k`` distinct elements, weighted, by rejection.
+
+    Pass ``cum_weights`` (``itertools.accumulate`` of the weights) when
+    drawing repeatedly from one population: ``random.choices`` converts
+    ``weights`` to exactly that prefix-sum internally, so the draws are
+    bit-identical while the per-draw cost falls from O(|population|)
+    to O(log |population|).
+    """
     if not population:
         return []
     k = min(k, len(population))
@@ -95,12 +116,37 @@ def _pick_distinct(
     seen: set[int] = set()
     attempts = 0
     while len(chosen) < k and attempts < 50 * k:
-        (candidate,) = rng.choices(population, weights=weights, k=1)
+        (candidate,) = rng.choices(
+            population, weights=weights, cum_weights=cum_weights, k=1
+        )
         attempts += 1
         if candidate not in seen:
             seen.add(candidate)
             chosen.append(candidate)
     return chosen
+
+
+class _PATable:
+    """O(1)-per-draw preferential-attachment sampler for one layer.
+
+    Each member appears in ``entries`` once per unit of weight
+    (``1 + customer_degree``), so a uniform index draw is a weighted
+    draw.  Every customer edge added to a member afterwards must append
+    one entry (:meth:`bump`) to keep the weights exact — the builder
+    routes all customer-provider insertions through
+    :meth:`_Builder.add_c2p` for that reason.
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self, members: list[int], graph: ASGraph) -> None:
+        entries: list[int] = []
+        for m in members:
+            entries.extend([m] * (1 + graph.customer_degree(m)))
+        self.entries = entries
+
+    def bump(self, asn: int) -> None:
+        self.entries.append(asn)
 
 
 class _Builder:
@@ -117,6 +163,12 @@ class _Builder:
             if params.include_content_providers
             else set()
         )
+        fast = params.fast_attachment
+        if fast is None:
+            fast = params.n >= FAST_ATTACHMENT_MIN_N
+        self.fast = fast
+        #: provider ASN -> its layer's :class:`_PATable` (fast mode only).
+        self._pa_of: dict[int, _PATable] = {}
 
     def fresh_asn(self) -> int:
         while self._next_asn in self._reserved:
@@ -134,13 +186,68 @@ class _Builder:
             members.append(asn)
         return members
 
+    def pa_table(self, members: list[int]) -> "_PATable | None":
+        """A preferential-attachment table over one layer (fast mode),
+        registered so :meth:`add_c2p` keeps its weights exact."""
+        if not self.fast:
+            return None
+        table = _PATable(members, self.graph)
+        for m in members:
+            self._pa_of[m] = table
+        return table
+
+    def add_c2p(self, customer: int, provider: int) -> None:
+        """Add a customer-provider edge, keeping PA tables exact."""
+        self.graph.add_customer_provider(customer, provider)
+        table = self._pa_of.get(provider)
+        if table is not None:
+            table.bump(provider)
+
     def attach_providers(
-        self, asn: int, candidates: list[int], count: int
+        self,
+        asn: int,
+        candidates: list[int],
+        count: int,
+        tables: "list[_PATable | None] | None" = None,
     ) -> None:
-        """Attach ``count`` providers with preferential attachment."""
-        weights = [1.0 + self.graph.customer_degree(c) for c in candidates]
-        for provider in _pick_distinct(self.rng, candidates, weights, count):
-            self.graph.add_customer_provider(asn, provider)
+        """Attach ``count`` providers with preferential attachment.
+
+        ``tables`` (fast mode) replaces the per-call O(|candidates|)
+        weight recomputation with O(1) draws from the layers' PA
+        tables; the attachment distribution is identical, only the RNG
+        consumption differs (see :class:`TopologyParams.fast_attachment`).
+        """
+        if self.fast and tables:
+            chosen = self._pick_pa(tables, count)
+        else:
+            weights = [1.0 + self.graph.customer_degree(c) for c in candidates]
+            chosen = _pick_distinct(self.rng, candidates, weights, count)
+        for provider in chosen:
+            self.add_c2p(asn, provider)
+
+    def _pick_pa(self, tables: "list[_PATable | None]", k: int) -> list[int]:
+        """Up to ``k`` distinct providers drawn across PA tables."""
+        entry_lists = [t.entries for t in tables if t is not None]
+        sizes = [len(e) for e in entry_lists]
+        total = sum(sizes)
+        if not total:
+            return []
+        rng = self.rng
+        chosen: list[int] = []
+        seen: set[int] = set()
+        attempts = 0
+        while len(chosen) < k and attempts < 50 * k:
+            attempts += 1
+            r = rng.randrange(total)
+            for entries, size in zip(entry_lists, sizes):
+                if r < size:
+                    candidate = entries[r]
+                    break
+                r -= size
+            if candidate not in seen:
+                seen.add(candidate)
+                chosen.append(candidate)
+        return chosen
 
     def add_random_peerings(self, pool_a: list[int], pool_b: list[int], count: int) -> int:
         """Add up to ``count`` p2p edges between the two pools."""
@@ -185,23 +292,34 @@ def generate_topology(params: TopologyParams | None = None) -> SyntheticTopology
             if a < c:
                 b.graph.add_peering(a, c)
 
+    t_t1 = b.pa_table(tier1)
     for asn in large:
-        b.attach_providers(asn, tier1, rng.choice((1, 2, 2, 3)))
+        b.attach_providers(asn, tier1, rng.choice((1, 2, 2, 3)), tables=[t_t1])
     # Every Tier 1 must have at least one customer or it would drop out
     # of the Table 1 Tier-1 bucket ("high customer degree & no providers").
     for t1 in tier1:
         if not b.graph.customers(t1):
-            b.graph.add_customer_provider(rng.choice(large), t1)
+            b.add_c2p(rng.choice(large), t1)
     # Mid ISPs buy from the large (Tier-2-like) layer — real regional
     # ISPs rarely buy straight from a Tier 1.  Keeping the attacker's
     # provider chain inside the densely-peering large layer is what lets
     # bogus routes spread as peer routes (the §4.6 mechanism).
+    t_large = b.pa_table(large)
     for asn in mid:
-        pool = large + (tier1 if rng.random() < 0.10 else [])
-        b.attach_providers(asn, pool, rng.choice((2, 2, 3, 3, 4)))
+        extra = rng.random() < 0.10
+        pool = [] if b.fast else large + (tier1 if extra else [])
+        b.attach_providers(
+            asn, pool, rng.choice((2, 2, 3, 3, 4)),
+            tables=[t_large] + ([t_t1] if extra else []),
+        )
+    t_mid = b.pa_table(mid)
     for asn in small:
-        pool = mid + (large if rng.random() < 0.30 else [])
-        b.attach_providers(asn, pool, rng.choice((1, 2, 2, 2, 3)))
+        extra = rng.random() < 0.30
+        pool = [] if b.fast else mid + (large if extra else [])
+        b.attach_providers(
+            asn, pool, rng.choice((1, 2, 2, 2, 3)),
+            tables=[t_mid] + ([t_large] if extra else []),
+        )
 
     # --- content providers -------------------------------------------
     cps: list[int] = []
@@ -220,10 +338,12 @@ def generate_topology(params: TopologyParams | None = None) -> SyntheticTopology
     # the Section 4.6 Tier-1 results depend on.
     stub_count = n - len(b.graph)
     stubs = b.make_layer("stub", max(0, stub_count))
+    t_small = b.pa_table(small)
     transit_pool = tier1 + large + mid + small
+    transit_tables = [t_t1, t_large, t_mid, t_small]
     for asn in stubs:
         count = rng.choice((1, 1, 1, 2, 2, 3))
-        b.attach_providers(asn, transit_pool, count)
+        b.attach_providers(asn, transit_pool, count, tables=transit_tables)
 
     # --- peering fabric -------------------------------------------------
     isps = large + mid + small
@@ -265,10 +385,18 @@ def generate_topology(params: TopologyParams | None = None) -> SyntheticTopology
         ixp_count = max(3, n // 130)
     if ixp_count:
         eligible = isps + cps + stub_x
-        weights = [1.0 + b.graph.peer_degree(a) for a in eligible]
+        # Prefix-summed weights: random.choices builds exactly this
+        # accumulation internally, so pre-computing it once keeps the
+        # draws bit-identical while dropping the per-draw cost from
+        # O(|eligible|) to O(log |eligible|).
+        cum_weights = list(
+            itertools.accumulate(1.0 + b.graph.peer_degree(a) for a in eligible)
+        )
         for i in range(ixp_count):
             size = min(len(eligible), 3 + int(rng.expovariate(1 / 8.0)))
-            members = _pick_distinct(rng, eligible, weights, size)
+            members = _pick_distinct(
+                rng, eligible, None, size, cum_weights=cum_weights
+            )
             if len(members) >= 2:
                 ixp_members[f"IXP{i}"] = tuple(sorted(members))
 

@@ -23,6 +23,7 @@ import repro.core
 import repro.core.attacks
 import repro.core.metrics
 import repro.core.routing
+import repro.core.shm
 import repro.experiments.scenarios
 import repro.experiments.store
 
@@ -35,6 +36,7 @@ DOCTEST_MODULES = (
     repro.core.attacks,
     repro.core.metrics,
     repro.core.routing,
+    repro.core.shm,
     repro.experiments.scenarios,
     repro.experiments.store,
 )

@@ -70,6 +70,97 @@ class TestSamplePairs:
         assert pairs == [(1, 2), (1, 3), (2, 3)]
 
 
+def _stratum(degree_of, boundaries, d):
+    deg = degree_of(d)
+    for i, bound in enumerate(boundaries):
+        if deg <= bound:
+            return i
+    return len(boundaries)
+
+
+class TestSamplePairsStratified:
+    """Degree-stratified destination sampling for internet-scale graphs."""
+
+    def test_basic_contract(self, rng, small_graph):
+        asns = small_graph.asns
+        pairs = sampling.sample_pairs_stratified(
+            rng, asns, asns, 40, small_graph.degree
+        )
+        assert len(pairs) == 40
+        assert pairs == sorted(set(pairs))
+        assert all(m != d for m, d in pairs)
+
+    def test_every_nonempty_stratum_represented(self, rng, small_graph):
+        """The uniform sampler can return all-stub destination samples
+        at internet-scale sampling ratios; the stratified one guarantees
+        at least one pair per non-empty degree stratum."""
+        asns = small_graph.asns
+        boundaries = sampling.DEFAULT_DEGREE_BOUNDARIES
+        nonempty = {
+            _stratum(small_graph.degree, boundaries, d) for d in asns
+        }
+        pairs = sampling.sample_pairs_stratified(
+            rng, asns, asns, 20, small_graph.degree
+        )
+        sampled = {
+            _stratum(small_graph.degree, boundaries, d) for _, d in pairs
+        }
+        assert sampled == nonempty
+
+    def test_allocation_tracks_stratum_sizes(self, rng, small_graph):
+        """Largest-remainder apportionment: each stratum's share of the
+        pairs is within one of its proportional quota (plus the min-1
+        floor for tiny strata)."""
+        asns = small_graph.asns
+        boundaries = sampling.DEFAULT_DEGREE_BOUNDARIES
+        count = 60
+        pairs = sampling.sample_pairs_stratified(
+            rng, asns, asns, count, small_graph.degree
+        )
+        from collections import Counter
+
+        sizes = Counter(_stratum(small_graph.degree, boundaries, d) for d in asns)
+        got = Counter(_stratum(small_graph.degree, boundaries, d) for _, d in pairs)
+        total = sum(sizes.values())
+        for stratum, size in sizes.items():
+            quota = count * size / total
+            assert got[stratum] >= max(1, int(quota) - 1), (stratum, quota)
+            assert got[stratum] <= max(1, int(quota) + 2), (stratum, quota)
+
+    def test_seed_stable(self, small_graph):
+        asns = small_graph.asns
+        a = sampling.sample_pairs_stratified(
+            random.Random(11), asns, asns, 30, small_graph.degree
+        )
+        b = sampling.sample_pairs_stratified(
+            random.Random(11), asns, asns, 30, small_graph.degree
+        )
+        assert a == b
+        c = sampling.sample_pairs_stratified(
+            random.Random(12), asns, asns, 30, small_graph.degree
+        )
+        assert a != c
+
+    def test_empty_and_degenerate_inputs(self, rng, small_graph):
+        asns = small_graph.asns
+        deg = small_graph.degree
+        assert sampling.sample_pairs_stratified(rng, [], asns, 10, deg) == []
+        assert sampling.sample_pairs_stratified(rng, asns, [], 10, deg) == []
+        assert sampling.sample_pairs_stratified(rng, asns, asns, 0, deg) == []
+
+    def test_custom_boundaries(self, rng, small_graph):
+        """A single boundary splits into exactly two strata; both must
+        be drawn from when non-empty."""
+        asns = small_graph.asns
+        pairs = sampling.sample_pairs_stratified(
+            rng, asns, asns, 10, small_graph.degree, boundaries=(3,)
+        )
+        lo = [d for _, d in pairs if small_graph.degree(d) <= 3]
+        hi = [d for _, d in pairs if small_graph.degree(d) > 3]
+        assert lo and hi
+        assert len(pairs) == 10
+
+
 class TestSampleMembers:
     def test_whole_population_when_small(self, rng):
         assert sampling.sample_members(rng, [5, 3, 1], 10) == [1, 3, 5]

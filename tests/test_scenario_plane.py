@@ -278,6 +278,108 @@ class TestStoreIndex:
         assert reopened.get(req.scenario_hash).value == result.value
 
 
+class TestStoreBugfixes:
+    """Regression tests for two silent-data-loss store bugs."""
+
+    def _evaluated(self, ectx, pairs_salt, model=SECURITY_SECOND):
+        asns = ectx.graph.asns
+        pairs = [(asns[-1 - pairs_salt], asns[pairs_salt])]
+        dep = ectx.catalog.get("t1_stubs")
+        req = request_for(ectx, pairs, dep, model)
+        return req, ectx.metric(req.pairs, dep, model)
+
+    def test_corrupt_newest_does_not_shadow_older_valid_record(
+        self, ectx, tmp_path
+    ):
+        """Newest-wins shadowing: when the newest line for a hash is
+        record-shaped corruption (it passes the prefix index but fails
+        to decode), get() used to drop the hash entirely — discarding
+        the older valid record it superseded.  The superseded record
+        must be re-found and served."""
+        req, result = self._evaluated(ectx, 0)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req, result)
+        store.close()
+        with open(store.path, "a", encoding="utf-8") as handle:
+            # Same hash, record-shaped (prefix + "result" + "}"), but
+            # undecodable JSON: indexed by the fast path, unservable.
+            handle.write(
+                '{"hash":"%s","request":{},"result":{{broken}\n'
+                % req.scenario_hash
+            )
+        reopened = ResultStore(tmp_path / "cache")
+        loaded = reopened.get(req.scenario_hash)
+        assert loaded is not None
+        assert loaded.value == result.value
+        assert loaded.per_pair == result.per_pair
+        # And the recovery is memoized: a second get stays served.
+        assert reopened.get(req.scenario_hash) is not None
+        assert req.scenario_hash in reopened
+
+    def test_corrupt_newest_with_no_older_record_is_dropped(
+        self, ectx, tmp_path
+    ):
+        req, _ = self._evaluated(ectx, 0)
+        (tmp_path / "cache").mkdir()
+        path = tmp_path / "cache" / "results.jsonl"
+        path.write_text(
+            '{"hash":"%s","request":{},"result":{{broken}\n'
+            % req.scenario_hash,
+            encoding="utf-8",
+        )
+        store = ResultStore(tmp_path / "cache")
+        assert store.get(req.scenario_hash) is None
+        assert req.scenario_hash not in store._offsets
+
+    def test_concurrent_writer_records_become_visible(self, ectx, tmp_path):
+        """Cross-process staleness: records appended by a second writer
+        after this store indexed the file used to stay invisible (pure
+        index misses) until reopen, silently re-evaluating scenarios.
+        An index miss now rescans the appended tail."""
+        req0, result = self._evaluated(ectx, 0)
+        writer = ResultStore(tmp_path / "cache")
+        writer.put(req0, result)
+        reader = ResultStore(tmp_path / "cache")
+        assert req0.scenario_hash in reader
+        req1, result1 = self._evaluated(ectx, 1)
+        writer.put(req1, result1)  # appended after reader indexed
+        assert req1.scenario_hash in reader
+        loaded = reader.get(req1.scenario_hash)
+        assert loaded is not None
+        assert loaded.value == result1.value
+        assert len(reader) == 2
+        writer.close()
+        reader.close()
+
+    def test_tail_rescan_skips_in_progress_line(self, ectx, tmp_path):
+        """A partially-written trailing line (another process mid-write)
+        must not be indexed nor advance the rescan cursor; once the
+        writer finishes the line, the record becomes visible."""
+        req0, result = self._evaluated(ectx, 0)
+        store = ResultStore(tmp_path / "cache")
+        store.put(req0, result)
+        store.close()
+        reader = ResultStore(tmp_path / "cache")
+        req1, result1 = self._evaluated(ectx, 1)
+        record = {
+            "hash": req1.scenario_hash,
+            "request": req1.canonical(),
+            "result": result_to_record(result1),
+        }
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode()
+        with open(store.path, "ab") as handle:
+            handle.write(line[:40])  # mid-write
+        assert req1.scenario_hash not in reader
+        assert reader.get(req1.scenario_hash) is None
+        with open(store.path, "ab") as handle:
+            handle.write(line[40:])  # writer finishes
+        assert req1.scenario_hash in reader
+        loaded = reader.get(req1.scenario_hash)
+        assert loaded is not None
+        assert loaded.value == result1.value
+        reader.close()
+
+
 class TestChainDetection:
     def _req(self, ectx, members, pairs=None, model=SECURITY_SECOND,
              simplex=frozenset()):

@@ -1,0 +1,294 @@
+"""Differential tests for the vectorized routing tier and its plumbing.
+
+The numpy bucket kernel (:meth:`repro.core.routing.RoutingContext._run_np`)
+is a pure performance rewrite of the heap fixing pass: Theorem 2.1's
+unique stable state means a vectorized context must agree with a pure
+one — and with the seed reference engine — **bit for bit** on every
+observable (counts, routes, rank keys, next-hop sets), for every rank
+model, attacker strategy and graph variant.  The grid here runs the
+full cross product at reduced scale; the pure path stays the oracle.
+
+The shared-memory arena (:mod:`repro.core.shm`) rides along: its
+lifecycle tests live here too, plus the fork-teardown regression (a
+SIGTERM'd run must not leak ``/dev/shm`` segments or pool workers).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import random
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import BASELINE, Deployment, SECURITY_MODELS, lp2_variant
+from repro.core.attacks import (
+    FORGED_ORIGIN,
+    HONEST,
+    ONE_HOP_HIJACK,
+    PathLengthHijack,
+)
+from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
+from repro.core.routing import (
+    RoutingContext,
+    batch_happiness_counts,
+    compute_routing_outcome,
+    rollout_happiness_counts,
+)
+from repro.core.shm import HAVE_SHARED_MEMORY, SharedArena, active_segments
+from repro.topology import TopologyParams, generate_topology
+from repro.topology.ixp import augment_with_ixp_peering
+
+CLASSIC_MODELS = (BASELINE,) + SECURITY_MODELS
+ALL_MODELS = CLASSIC_MODELS + tuple(lp2_variant(m) for m in CLASSIC_MODELS)
+STRATEGIES = (ONE_HOP_HIJACK, HONEST, FORGED_ORIGIN, PathLengthHijack(2))
+
+
+@pytest.fixture(scope="module", params=[False, True], ids=["base", "ixp"])
+def graph(request):
+    topo = generate_topology(TopologyParams(n=300, seed=2013))
+    if request.param:
+        return augment_with_ixp_peering(topo.graph, topo.ixp_members).graph
+    return topo.graph
+
+
+@pytest.fixture(scope="module")
+def pure_ctx(graph):
+    ctx = RoutingContext(graph, vectorized=False)
+    assert not ctx.vectorized
+    return ctx
+
+
+@pytest.fixture(scope="module")
+def vec_ctx(graph):
+    ctx = RoutingContext(graph, vectorized=True)
+    assert ctx.vectorized
+    return ctx
+
+
+def _instances(graph, salt, k=3):
+    """k seeded (attacker, destination, deployment) triples."""
+    rnd = random.Random(f"vec/{salt}")
+    asns = graph.asns
+    out = []
+    for _ in range(k):
+        d = rnd.choice(asns)
+        m = rnd.choice([a for a in asns if a != d])
+        members = rnd.sample(asns, rnd.randint(0, len(asns) // 2))
+        dep = Deployment.of(members)
+        if rnd.random() < 0.5:
+            dep = dep.with_simplex_stubs(graph)
+        out.append((m, d, dep))
+    return out
+
+
+class TestDifferentialGrid:
+    """Vectorized vs pure vs reference engine, full observable state."""
+
+    @pytest.mark.parametrize("attack", STRATEGIES, ids=lambda a: a.token)
+    @pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: m.label)
+    def test_outcomes_bit_identical(self, graph, pure_ctx, vec_ctx, model, attack):
+        for m, d, dep in _instances(graph, f"{model.label}/{attack.token}"):
+            pure = compute_routing_outcome(
+                pure_ctx, d, attacker=m, deployment=dep, model=model,
+                attack=attack,
+            )
+            pure_key = list(pure_ctx._key)
+            pure_routes = dict(pure.routes)
+            vec = compute_routing_outcome(
+                vec_ctx, d, attacker=m, deployment=dep, model=model,
+                attack=attack,
+            )
+            assert list(vec_ctx._key) == pure_key
+            assert dict(vec.routes) == pure_routes
+            assert vec.count_happy() == pure.count_happy()
+            assert vec.count_attacked() == pure.count_attacked()
+            assert vec.count_secure_sources() == pure.count_secure_sources()
+
+    @pytest.mark.parametrize("attack", STRATEGIES, ids=lambda a: a.token)
+    @pytest.mark.parametrize("model", CLASSIC_MODELS, ids=lambda m: m.label)
+    def test_vectorized_matches_reference_engine(self, graph, vec_ctx, model, attack):
+        ref_ctx = RefRoutingContext(graph)
+        for m, d, dep in _instances(graph, f"ref/{model.label}/{attack.token}", k=2):
+            vec = compute_routing_outcome(
+                vec_ctx, d, attacker=m, deployment=dep, model=model,
+                attack=attack,
+            )
+            ref = ref_compute_routing_outcome(
+                ref_ctx, d, attacker=m, deployment=dep, model=model,
+                attack=attack,
+            )
+            assert dict(vec.routes) == ref.routes
+            assert vec.count_happy() == ref.count_happy()
+            assert vec.count_attacked() == ref.count_attacked()
+            assert vec.count_secure_sources() == ref.count_secure_sources()
+
+    @pytest.mark.parametrize("attack", STRATEGIES, ids=lambda a: a.token)
+    def test_counts_both_scheduling_modes(self, graph, pure_ctx, vec_ctx, attack):
+        insts = _instances(graph, f"counts/{attack.token}", k=4)
+        pairs = [(m, d) for m, d, _ in insts] + [(None, insts[0][1])]
+        dep = insts[0][2]
+        for model in ALL_MODELS:
+            for dm in (True, False):
+                expected = batch_happiness_counts(
+                    pure_ctx, pairs, dep, model,
+                    destination_major=dm, attack=attack,
+                )
+                got = batch_happiness_counts(
+                    vec_ctx, pairs, dep, model,
+                    destination_major=dm, attack=attack,
+                )
+                assert got == expected, (model.label, dm)
+
+    def test_rollout_chain_matches_pure(self, graph, pure_ctx, vec_ctx):
+        rnd = random.Random("vec/rollout")
+        asns = graph.asns
+        members = rnd.sample(asns, 60)
+        chain = [Deployment.of(members[:k]) for k in (0, 15, 30, 60)]
+        pairs = [
+            (m, d)
+            for m, d, _ in _instances(graph, "rollout-pairs", k=5)
+        ]
+        for model in ALL_MODELS:
+            expected = rollout_happiness_counts(pure_ctx, pairs, chain, model)
+            got = rollout_happiness_counts(vec_ctx, pairs, chain, model)
+            assert got == expected, model.label
+
+
+@pytest.mark.skipif(not HAVE_SHARED_MEMORY, reason="no shared memory")
+class TestSharedArena:
+    def test_views_round_trip_and_survive_unlink(self):
+        arena = SharedArena(
+            {
+                "a": np.arange(5, dtype=np.int64),
+                "b": np.array([1, 0, 1], dtype=np.uint8),
+            }
+        )
+        try:
+            assert arena.array("a").tolist() == [0, 1, 2, 3, 4]
+            assert arena.array("b").dtype == np.uint8
+            assert arena.name in active_segments()
+            assert os.path.exists(f"/dev/shm/{arena.name}")
+        finally:
+            arena.close()
+        assert arena.closed
+        assert arena.name not in active_segments()
+        assert not os.path.exists(f"/dev/shm/{arena.name}")
+        # POSIX keeps the mapping alive until the last unmap.
+        assert arena.array("a").tolist() == [0, 1, 2, 3, 4]
+        arena.close()  # idempotent
+
+    def test_shared_context_is_bit_identical(self, graph, pure_ctx):
+        with RoutingContext(graph, vectorized=True, shared=True) as ctx:
+            assert ctx.shared_arena is not None
+            assert ctx.rank_coeffs is not None
+            for m, d, dep in _instances(graph, "shm", k=2):
+                shared = compute_routing_outcome(
+                    ctx, d, attacker=m, deployment=dep,
+                    model=SECURITY_MODELS[0],
+                )
+                pure = compute_routing_outcome(
+                    pure_ctx, d, attacker=m, deployment=dep,
+                    model=SECURITY_MODELS[0],
+                )
+                assert dict(shared.routes) == dict(pure.routes)
+        assert ctx.shared_arena.closed
+
+    def test_context_close_unlinks_segment(self, graph):
+        ctx = RoutingContext(graph, shared=True)
+        name = ctx.shared_arena.name
+        assert os.path.exists(f"/dev/shm/{name}")
+        ctx.close()
+        assert not os.path.exists(f"/dev/shm/{name}")
+        ctx.close()  # idempotent
+
+
+class TestContextWiring:
+    """make_context's vectorized / shared-memory / stratified plumbing."""
+
+    def test_defaults_stay_pure_at_small_scales(self):
+        from repro.experiments.runner import make_context
+
+        with make_context("tiny") as ectx:
+            assert not ectx.graph_ctx.vectorized
+            assert ectx.graph_ctx.shared_arena is None
+
+    def test_explicit_overrides(self):
+        from repro.experiments.runner import make_context
+
+        with make_context("tiny", vectorized=True, shared_memory=True) as ectx:
+            assert ectx.graph_ctx.vectorized
+            arena = ectx.graph_ctx.shared_arena
+            assert arena is not None and not arena.closed
+        assert arena.closed  # context close() unlinked it
+
+    def test_stratified_scale_changes_baseline_pairs(self):
+        from dataclasses import replace
+
+        from repro.experiments import exp_baseline
+        from repro.experiments.config import get_scale
+        from repro.experiments.runner import make_context
+
+        with make_context("tiny") as uniform:
+            plain = exp_baseline._plan(uniform)["all"].pairs
+        strat_scale = replace(get_scale("tiny"), stratified_pairs=True)
+        with make_context(strat_scale) as stratified:
+            assert stratified.scale.stratified_pairs
+            strat = exp_baseline._plan(stratified)["all"].pairs
+        assert len(strat) == len(plain)
+        assert strat != plain  # the draw goes through the stratifier
+
+
+_TEARDOWN_CHILD = r"""
+import sys
+sys.path.insert(0, {src!r})
+from repro.experiments.cli import _install_sigterm_handler
+from repro.experiments.runner import make_context, run_experiments
+
+_install_sigterm_handler()
+ectx = make_context("tiny", processes=2, shared_memory=True)
+print("ARENA", ectx.graph_ctx.shared_arena.name, flush=True)
+while True:  # evaluate until killed
+    ectx.cache.clear()
+    run_experiments(ectx, ["baseline"], store=None)
+"""
+
+
+@pytest.mark.skipif(not HAVE_SHARED_MEMORY, reason="no shared memory")
+def test_sigterm_mid_run_leaks_nothing(tmp_path):
+    """Kill a multi-process shared-memory run mid-evaluation: the
+    SIGTERM handler + atexit teardown must unlink the arena and take
+    the pool workers down with the parent."""
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _TEARDOWN_CHILD.format(src=os.path.abspath(src))],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        assert line.startswith("ARENA "), line
+        name = line.split()[1]
+        assert os.path.exists(f"/dev/shm/{name}")
+        time.sleep(1.0)  # let the pool fork and an evaluation start
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()
+        proc.stdout.close()
+    assert returncode == 128 + signal.SIGTERM
+    assert not os.path.exists(f"/dev/shm/{name}")
+    leaked = [
+        seg
+        for seg in glob.glob("/dev/shm/repro-*")
+        if f"-{proc.pid}-" in seg
+    ]
+    assert leaked == []
