@@ -42,6 +42,7 @@ import argparse
 import json
 import platform
 import random
+import resource
 import subprocess
 import tempfile
 import time
@@ -165,6 +166,9 @@ def run(scale_name: str, num_pairs: int, seed: int) -> dict:
         "speedup_rollout_vs_independent": models[HEADLINE_MODEL.label]["speedup"],
         "required_rollout_speedup": REQUIRED_ROLLOUT_SPEEDUP,
         "refimpl_pairsteps_checked": checked,
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
     }
 
 

@@ -120,6 +120,48 @@ _NP_INF = 1 << 62
 #: (below it, per-round numpy dispatch overhead beats the win).
 VECTORIZED_MIN_N = 10_000
 
+#: Deltas whose dirty closure stays below this many nodes run the pure
+#: heap loop even when numpy is available: the vectorized delta kernel
+#: pays a few dozen numpy dispatches per wave, which beats interpreted
+#: per-node work only once the region amortizes them.
+DELTA_VEC_MIN = 64
+
+#: Hybrid-policy abort budgets, as fractions of ``n``.  A pure-python
+#: delta whose touched region exceeds its budget abandons the delta and
+#: re-fixes with one full vectorized pass instead (the abort costs the
+#: closure walked so far).  The numpy delta kernel aborts almost for
+#: free (its closure never mutates the scratch state) and compares its
+#: *estimated cost* — the hard re-wave region plus a quarter-weight for
+#: the pruned/tie nodes its python soft phase must walk — against this
+#: fraction of ``n``, the dense pass's cost scale.  The fraction is
+#: deliberately small: on mid-size graphs one full ``_run_np`` pass is
+#: so cheap that the compressed kernel only wins while the region is
+#: tiny relative to ``n``; the window widens linearly with graph size
+#: (at internet scale a dense pass costs tens of milliseconds, so
+#: blast-radius-bound deltas win by an order of magnitude).
+DELTA_PURE_BUDGET = 0.125
+DELTA_NP_BUDGET = 0.0625
+
+#: Absolute floors under the fractional budgets, so small graphs do not
+#: abort deltas that would finish faster than any full pass.
+_DELTA_PURE_BUDGET_MIN = 192
+_DELTA_NP_BUDGET_MIN = 512
+
+
+class _DeltaOversize(Exception):
+    """Internal: a delta's touched region blew past its abort budget.
+
+    ``args[0]`` holds the touched list accumulated so far (dirty flags
+    still set), ``args[1]`` whether the scratch buffers were mutated
+    and need a full resynchronization from the snapshot.
+    """
+
+
+class _DeltaSmall(Exception):
+    """Internal: the vectorized delta found a dirty closure below
+    :data:`DELTA_VEC_MIN` and ceded to the pure loop (nothing mutated,
+    dirty flags already cleared)."""
+
 #: Classic-LP models whose packed coefficient rows a shared arena
 #: carries (row order is the :data:`rank_coeffs` layout contract).
 _COEFF_MODELS = (BASELINE, SECURITY_FIRST, SECURITY_SECOND, SECURITY_THIRD)
@@ -269,6 +311,8 @@ class RoutingContext:
         "_np_adj",
         "_np_scratch",
         "_np_post",
+        "_np_pairs",
+        "_np_inv",
         "_nhops_valid",
         "_neighbor_dicts",
         "_out_edges",
@@ -377,6 +421,13 @@ class RoutingContext:
         self._np_adj: tuple | None = None
         self._np_scratch: dict | None = None
         self._np_post: tuple | None = None
+        #: ``(us, vs)`` next-hop membership pairs of the most recent
+        #: :meth:`_materialize_nhops` (sorted by target) — lets a sweep
+        #: snapshot its dependency structure without re-walking the lists.
+        self._np_pairs: tuple | None = None
+        #: reusable global→compressed index map of the delta kernel
+        #: (int64, -1 outside the active region).
+        self._np_inv = None
         #: False while the scratch ``_nhops`` lists are stale relative to
         #: the numpy scratch arrays (the bucket kernel defers building
         #: them; :meth:`_materialize_nhops` catches up on demand).
@@ -828,6 +879,7 @@ class RoutingContext:
         ranking: bytearray,
         model: RankModel,
         attack: ResolvedAttack = DEFAULT_RESOLVED,
+        writeback: bool = True,
     ) -> None:
         """Vectorized twin of :meth:`_run`: a bucket-Dijkstra sweep.
 
@@ -857,10 +909,15 @@ class RoutingContext:
         State is written back into the ordinary scratch buffers so every
         consumer (snapshots, delta sweeps, counts) sees bit-identical
         values to the pure kernel; only the per-node next-hop lists are
-        deferred (see :meth:`_materialize_nhops`).
+        deferred (see :meth:`_materialize_nhops`).  With
+        ``writeback=False`` the pass stops after :attr:`_last_counts`:
+        the python scratch buffers (and the sweep ownership they may
+        encode) are left untouched — the dense count-only fall-back of
+        the hybrid delta policy relies on exactly that.
         """
         np = _np
-        self._sweep_owner = None
+        if writeback:
+            self._sweep_owner = None
         n = self.n
         start, node, cls_e, cf_b, _esrc = self._np_adjacency()
         st = self._np_ensure_scratch()
@@ -1027,6 +1084,8 @@ class RoutingContext:
             int(sec_s[counted].sum()),
             nfixed,
         )
+        if not writeback:
+            return
 
         # Write back into the ordinary scratch buffers so python-side
         # consumers (snapshots, delta sweeps) see pure-kernel values.
@@ -1100,10 +1159,13 @@ class RoutingContext:
         vs = vs[keep]
         nhops = self._nhops
         nhops[:] = self._nhops_init
+        self._np_pairs = (us[:0], vs[:0])
         if len(vs):
             order = np.argsort(vs * self.n + us)
             vs = vs[order]
-            us_list = us[order].tolist()
+            us = us[order]
+            self._np_pairs = (us, vs)
+            us_list = us.tolist()
             bounds = np.flatnonzero(np.diff(vs)).tolist()
             starts = [0, *(b + 1 for b in bounds)]
             ends = [*bounds, len(us_list) - 1]
@@ -1566,6 +1628,12 @@ class DestinationSweep:
         "_b_counts",
         "_dep",
         "_dirty",
+        "delta_kernel",
+        "last_delta_path",
+        "_needs_restore",
+        "_np_base",
+        "_small_aborts",
+        "_delta_seq",
     )
 
     def __init__(
@@ -1575,6 +1643,7 @@ class DestinationSweep:
         deployment: Deployment | None = None,
         model: RankModel = BASELINE,
         attack: AttackStrategy = DEFAULT_ATTACK,
+        delta_kernel: str = "auto",
     ) -> None:
         ctx = _as_context(topology)
         self.ctx = ctx
@@ -1582,6 +1651,29 @@ class DestinationSweep:
         self.deployment = deployment = deployment or _EMPTY_DEPLOYMENT
         self.model = model
         self.attack = attack
+        if delta_kernel not in ("auto", "pure", "np", "dense"):
+            raise ValueError(
+                f"delta_kernel must be 'auto', 'pure', 'np' or 'dense', "
+                f"got {delta_kernel!r}"
+            )
+        if delta_kernel in ("np", "dense") and _np is None:
+            raise RuntimeError(f"delta_kernel={delta_kernel!r} requires numpy")
+        #: which delta implementation :meth:`_delta` dispatches to:
+        #: ``"auto"`` (the hybrid policy), or forced ``"pure"`` /
+        #: ``"np"`` (vectorized) / ``"dense"`` (full-pass fall-back).
+        self.delta_kernel = delta_kernel
+        #: the path the most recent delta actually ran — ``"pure"``,
+        #: ``"vectorized"`` or ``"dense"`` (None before the first).
+        self.last_delta_path: str | None = None
+        #: Adaptive hybrid memory: consecutive small-estimate deltas
+        #: whose pure retry blew its budget.  Attacker avalanches are
+        #: invisible to the closure estimate, but within one sweep they
+        #: repeat — after a few, small regions skip the pure retry and
+        #: let the wave kernel's restart accounting pick dense directly.
+        self._small_aborts = 0
+        self._delta_seq = 0
+        self._needs_restore = True
+        self._np_base: dict | None = None
         self._last_res = DEFAULT_RESOLVED
         dest_i, _ = ctx._check_pair(destination, None)
         self._dest_i = dest_i
@@ -1611,16 +1703,59 @@ class DestinationSweep:
         )
 
     def _take_baseline(self) -> None:
-        """Snapshot the scratch buffers as this sweep's baseline and
-        (re)build the reverse-dependency lists over its next-hop sets.
+        """Snapshot the scratch buffers as this sweep's baseline.
 
         The baselines are mutable (bytearrays/lists) so the rollout
         advance (:class:`RolloutSweep`) can commit a delta in place;
         a plain :class:`DestinationSweep` never mutates them.
+
+        On vectorized contexts (with the numpy delta enabled) the
+        snapshot is taken straight from the bucket kernel's int64
+        scratch arrays instead: the per-destination O(n) python
+        list/bytearray copies disappear, and the pure fall-back path
+        reads baseline scalars through the numpy views.  The
+        reverse-dependency lists are built lazily (:meth:`_ensure_dep`)
+        because the numpy delta kernel walks a CSR twin of them
+        (:meth:`_np_finish_base`) and never needs the list form.
         """
         ctx = self.ctx
         ctx._materialize_nhops()
-        n = ctx.n
+        # Inner next-hop lists are shared with the scratch arrays; the
+        # delta pass never mutates a restored list (every mutation path
+        # starts with a reset to None followed by a fresh list), which is
+        # the same contract _snapshot relies on.
+        self._b_nhops = list(ctx._nhops)
+        self._b_counts = ctx._last_counts
+        self._dep = None
+        self._np_base = None
+        if (
+            ctx.vectorized
+            and _np is not None
+            and self.delta_kernel in ("auto", "np")
+        ):
+            st = ctx._np_scratch
+            base = {
+                name: st[name].copy()
+                for name in (
+                    "fixed", "key", "cls", "len", "reach",
+                    "wire", "sec", "choice", "endp",
+                )
+            }
+            self._b_fixed = None
+            self._b_key = None
+            self._b_cls = None
+            self._b_len = None
+            self._b_reach = None
+            self._b_wire = None
+            self._b_sec = None
+            self._b_choice = None
+            self._b_endpoint = None
+            self._np_base = base
+            # The pairs stash is fresh here: a vectorized baseline pass
+            # always defers next-hops, so the materialize above rebuilt
+            # them (and the stash) from this very state.
+            self._np_finish_base(base, ctx._np_pairs)
+            return
         self._b_fixed = bytearray(ctx._fixed)
         self._b_key = list(ctx._key)
         self._b_cls = bytearray(ctx._cls)
@@ -1630,21 +1765,100 @@ class DestinationSweep:
         self._b_sec = bytearray(ctx._sec)
         self._b_choice = list(ctx._choice)
         self._b_endpoint = bytearray(ctx._endpoint)
-        # Inner next-hop lists are shared with the scratch arrays; the
-        # delta pass never mutates a restored list (every mutation path
-        # starts with a reset to None followed by a fresh list), which is
-        # the same contract _snapshot relies on.
-        self._b_nhops = list(ctx._nhops)
-        self._b_counts = ctx._last_counts
-        # Reverse-dependency lists over the baseline next-hop sets:
-        # ``dep[u]`` holds every v whose baseline BPR set contains u.
-        # Built once per destination, amortized over all its attackers.
-        dep: list[list[int]] = [[] for _ in range(n)]
-        for v, h in enumerate(self._b_nhops):
-            if h:
-                for u in h:
-                    dep[u].append(v)
-        self._dep = dep
+
+    def _ensure_dep(self) -> list[list[int]]:
+        """Reverse-dependency lists over the baseline next-hop sets:
+        ``dep[u]`` holds every v whose baseline BPR set contains u.
+        Built on the first pure delta, amortized over all attackers."""
+        dep = self._dep
+        if dep is None:
+            dep = [[] for _ in range(self.ctx.n)]
+            for v, h in enumerate(self._b_nhops):
+                if h:
+                    for u in h:
+                        dep[u].append(v)
+            self._dep = dep
+        return dep
+
+    def _np_baseline(self) -> dict:
+        """The numpy view of the baseline snapshot (for the vectorized
+        delta kernel), built from the python baselines when the sweep
+        snapshotted through them (pure contexts)."""
+        base = self._np_base
+        if base is None:
+            np = _np
+            n = self.ctx.n
+            base = {
+                "fixed": np.frombuffer(
+                    bytes(self._b_fixed), dtype=np.uint8
+                ).astype(np.bool_),
+                "key": np.fromiter(
+                    (k if k < _NP_INF else _NP_INF for k in self._b_key),
+                    np.int64,
+                    count=n,
+                ),
+                "cls": np.frombuffer(
+                    bytes(self._b_cls), dtype=np.uint8
+                ).astype(np.int64),
+                "len": np.array(self._b_len, dtype=np.int64),
+                "reach": np.frombuffer(
+                    bytes(self._b_reach), dtype=np.uint8
+                ).astype(np.int64),
+                "wire": np.frombuffer(
+                    bytes(self._b_wire), dtype=np.uint8
+                ).astype(np.int64),
+                "sec": np.frombuffer(
+                    bytes(self._b_sec), dtype=np.uint8
+                ).astype(np.int64),
+                "choice": np.array(self._b_choice, dtype=np.int64),
+                "endp": np.frombuffer(
+                    bytes(self._b_endpoint), dtype=np.uint8
+                ).astype(np.int64),
+            }
+            self._np_base = base
+            self._np_finish_base(base)
+        return base
+
+    def _np_finish_base(self, base: dict, pairs: tuple | None = None) -> None:
+        """Attach the dependency structure the numpy delta kernel walks:
+        the baseline next-hop membership pairs ``(us, vs)``, their
+        reverse CSR (``dep_start``/``dep_v``: u → dependents v), the
+        per-node BPR size ``nhcnt`` and its wire-secure member count
+        ``bwirecnt``, plus two reusable per-delta accumulators."""
+        np = _np
+        n = self.ctx.n
+        if pairs is None:
+            us_l: list[int] = []
+            vs_l: list[int] = []
+            for v, h in enumerate(self._b_nhops):
+                if h:
+                    us_l.extend(h)
+                    vs_l.extend([v] * len(h))
+            pairs = (
+                np.array(us_l, dtype=np.int64),
+                np.array(vs_l, dtype=np.int64),
+            )
+        self._np_attach_dep(base, pairs[0], pairs[1])
+        base["deadcnt"] = np.zeros(n, dtype=np.int64)
+        base["deadwire"] = np.zeros(n, dtype=np.int64)
+
+    def _np_attach_dep(self, base: dict, us, vs) -> None:
+        """(Re)build the pair-derived part of :meth:`_np_finish_base`."""
+        np = _np
+        n = self.ctx.n
+        base["us"] = us
+        base["vs"] = vs
+        order = np.argsort(us, kind="stable")
+        dep_u = us[order]
+        base["dep_v"] = vs[order]
+        counts = np.bincount(dep_u, minlength=n)
+        dep_start = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=dep_start[1:])
+        base["dep_start"] = dep_start
+        base["nhcnt"] = np.bincount(vs, minlength=n).astype(np.int64)
+        bwirecnt = np.zeros(n, dtype=np.int64)
+        np.add.at(bwirecnt, vs, base["wire"][us])
+        base["bwirecnt"] = bwirecnt
 
     # ------------------------------------------------------------------
     @property
@@ -1680,7 +1894,7 @@ class DestinationSweep:
         """The full stable state for one attacker (API-compatible with
         :func:`compute_routing_outcome`, computed incrementally)."""
         att_i = self._attacker_index(attacker)
-        counts, touched = self._delta(att_i)
+        counts, touched = self._delta(att_i, need_state=True)
         ctx = self.ctx
         ctx._last_counts = counts
         snap = ctx._snapshot(
@@ -1707,21 +1921,60 @@ class DestinationSweep:
         owner = ctx._sweep_owner
         if owner is not None and owner() is self:
             return
-        ctx._fixed[:] = self._b_fixed
-        ctx._key[:] = self._b_key
-        ctx._cls[:] = self._b_cls
-        ctx._len[:] = self._b_len
-        ctx._reach[:] = self._b_reach
-        ctx._wire[:] = self._b_wire
-        ctx._sec[:] = self._b_sec
-        ctx._choice[:] = self._b_choice
-        ctx._endpoint[:] = self._b_endpoint
+        if self._b_fixed is None:
+            # numpy snapshot: bulk-decode it into the python scratch
+            # (the same serialization _run_np's write-back uses, so the
+            # values are bit-identical to a pure-kernel pass).
+            np = _np
+            base = self._np_base
+            ctx._fixed[:] = base["fixed"].tobytes()
+            ctx._cls[:] = base["cls"].astype(np.uint8).tobytes()
+            ctx._reach[:] = base["reach"].astype(np.uint8).tobytes()
+            ctx._wire[:] = base["wire"].astype(np.uint8).tobytes()
+            ctx._sec[:] = base["sec"].astype(np.uint8).tobytes()
+            ctx._endpoint[:] = base["endp"].astype(np.uint8).tobytes()
+            ctx._len[:] = base["len"].tolist()
+            ctx._choice[:] = base["choice"].tolist()
+            key = base["key"]
+            key_list = key.tolist()
+            for i in np.flatnonzero(key == _NP_INF).tolist():
+                key_list[i] = _INF
+            ctx._key[:] = key_list
+        else:
+            ctx._fixed[:] = self._b_fixed
+            ctx._key[:] = self._b_key
+            ctx._cls[:] = self._b_cls
+            ctx._len[:] = self._b_len
+            ctx._reach[:] = self._b_reach
+            ctx._wire[:] = self._b_wire
+            ctx._sec[:] = self._b_sec
+            ctx._choice[:] = self._b_choice
+            ctx._endpoint[:] = self._b_endpoint
         ctx._nhops[:] = self._b_nhops
         ctx._nhops_valid = True
         ctx._sweep_owner = weakref.ref(self)
 
-    def _restore(self, touched: list[int]) -> None:
-        """Return every touched scratch entry to its baseline value."""
+    def _restore(self, touched: list[int] | None) -> None:
+        """Return every touched scratch entry to its baseline value.
+
+        ``touched=None`` is the dense fall-back's sentinel: the whole
+        scratch state is suspect (reconciled in one bulk resync) — or,
+        when the dense pass ran in count-only mode, untouched
+        (``_needs_restore`` False) and there is nothing to do.  The
+        numpy delta's count-only path clears ``_needs_restore`` the same
+        way: it computes on compressed copies and never writes the
+        scratch, so restoring would only waste the win.
+        """
+        if not self._needs_restore:
+            self._needs_restore = True
+            return
+        if touched is None:
+            self.ctx._sweep_owner = None
+            self._ensure_scratch()
+            return
+        if self._b_fixed is None:
+            self._restore_np(touched)
+            return
         ctx = self.ctx
         fixed = ctx._fixed
         key_l = ctx._key
@@ -1757,8 +2010,224 @@ class DestinationSweep:
             nhops[x] = b_nhops[x]
             dirty[x] = 0
 
+    def _restore_np(self, touched: list[int]) -> None:
+        """:meth:`_restore` against the numpy snapshot (vectorized
+        contexts keep no python baseline copies)."""
+        ctx = self.ctx
+        fixed = ctx._fixed
+        key_l = ctx._key
+        cls_b = ctx._cls
+        len_l = ctx._len
+        reach_b = ctx._reach
+        wire_b = ctx._wire
+        sec_b = ctx._sec
+        choice_l = ctx._choice
+        endp_b = ctx._endpoint
+        nhops = ctx._nhops
+        base = self._np_base
+        b_fixed = base["fixed"]
+        b_key = base["key"]
+        b_cls = base["cls"]
+        b_len = base["len"]
+        b_reach = base["reach"]
+        b_wire = base["wire"]
+        b_sec = base["sec"]
+        b_choice = base["choice"]
+        b_endp = base["endp"]
+        b_nhops = self._b_nhops
+        dirty = self._dirty
+        for x in touched:
+            fixed[x] = 1 if b_fixed[x] else 0
+            k = int(b_key[x])
+            key_l[x] = _INF if k == _NP_INF else k
+            cls_b[x] = b_cls[x]
+            len_l[x] = int(b_len[x])
+            reach_b[x] = b_reach[x]
+            wire_b[x] = b_wire[x]
+            sec_b[x] = b_sec[x]
+            choice_l[x] = int(b_choice[x])
+            endp_b[x] = b_endp[x]
+            nhops[x] = b_nhops[x]
+            dirty[x] = 0
+
+    def _resolve_delta(self, att_i: int, advance: bool) -> ResolvedAttack | None:
+        """Resolve the attacker strategy for one delta (shared by every
+        kernel path).  The snapshot holds the attacker-free state, so
+        ``needs_baseline`` strategies read the attacker's legitimate
+        record for free; on an advance the attacker is already rooted in
+        the baseline and its resolution was fixed when the chain walker
+        built it."""
+        if att_i < 0:
+            return None
+        if advance:
+            return self._last_res
+        attack = self.attack
+        baseline = None
+        if attack.needs_baseline:
+            bf = self._b_fixed
+            if bf is None:
+                base = self._np_base
+                baseline = AttackerBaseline(
+                    has_route=bool(base["fixed"][att_i]),
+                    length=int(base["len"][att_i]),
+                    wire_secure=bool(base["wire"][att_i]),
+                )
+            else:
+                baseline = AttackerBaseline(
+                    has_route=bool(bf[att_i]),
+                    length=self._b_len[att_i],
+                    wire_secure=bool(self._b_wire[att_i]),
+                )
+        res = attack.resolve(dest_signed=self._dest_signed, baseline=baseline)
+        self._last_res = res
+        return res
+
     def _delta(
-        self, att_i: int, extra_resets: Sequence[int] | None = None
+        self,
+        att_i: int,
+        extra_resets: Sequence[int] | None = None,
+        need_state: bool = False,
+    ) -> tuple[tuple[int, int, int, int, int, int], list[int] | None]:
+        """Delta re-fix for one attacker or advance: kernel dispatch.
+
+        Three implementations compute the same bit-identical result:
+
+        * ``"pure"`` — the interpreted heap loop (:meth:`_delta_pure`),
+          the differential oracle.  Fastest on tiny dirty regions.
+        * ``"vectorized"`` — the compressed numpy bucket kernel
+          (:mod:`repro.core._delta_np`).  Fastest on mid-size regions;
+          its count-only mode never touches the python scratch at all.
+        * ``"dense"`` — one full :meth:`RoutingContext._run_np` pass
+          (:meth:`_delta_dense`), returning ``touched=None``.  Fastest
+          once the dirty region stops being small relative to ``n``.
+
+        Under the default ``delta_kernel="auto"`` policy on a
+        vectorized context the numpy kernel runs first — its closure
+        sweep doubles as the region-size estimate — and cedes to the
+        pure loop below
+        :data:`DELTA_VEC_MIN` touched nodes or to the dense pass above
+        ``n * DELTA_NP_BUDGET``; a pure pass that grows past
+        ``n * DELTA_PURE_BUDGET`` likewise aborts to dense.  On a
+        pure-python context ``"auto"`` is simply the pure loop: the
+        numpy estimate and the dense fall-back both need the vectorized
+        state the context does not carry.  Forced
+        kernels (``"pure"``/``"np"``/``"dense"``) never switch paths.
+        The path taken is recorded in :attr:`last_delta_path`.
+
+        ``need_state=True`` asks for the full re-fixed state in the
+        scratch buffers (outcome snapshots, rollout commits); without it
+        count-only paths may skip the write-back entirely.
+        """
+        self._needs_restore = True
+        advance = extra_resets is not None
+        res = self._resolve_delta(att_i, advance)
+        kernel = self.delta_kernel
+        if kernel == "dense":
+            self.last_delta_path = "dense"
+            return self._delta_dense(att_i, res, advance, need_state)
+        n = self.ctx.n
+        budget = None
+        if kernel == "np" or (
+            kernel == "auto" and _np is not None and self.ctx.vectorized
+        ):
+            from . import _delta_np as _dnp
+
+            if kernel == "auto" and self._small_aborts >= 4:
+                # Avalanche regime: the last few small-estimate deltas
+                # all blew the pure retry's budget, so this sweep's
+                # attackers rewire far past what the closure can see.
+                # Skip the estimate and retry entirely — one dense pass
+                # IS the likely outcome — but let every 16th delta walk
+                # the normal path so the memory can decay when the
+                # attacker mix changes.
+                self._delta_seq += 1
+                if self._delta_seq & 15:
+                    self.last_delta_path = "dense"
+                    return self._delta_dense(att_i, res, advance, need_state)
+            if kernel == "np":
+                np_budget = small = None
+            else:
+                np_budget = max(_DELTA_NP_BUDGET_MIN, int(n * DELTA_NP_BUDGET))
+                small = DELTA_VEC_MIN
+            try:
+                counts, touched = _dnp.delta_np(
+                    self, att_i, extra_resets, res, need_state,
+                    budget=np_budget, small=small,
+                )
+            except _DeltaSmall:
+                budget = max(
+                    _DELTA_PURE_BUDGET_MIN, int(n * DELTA_PURE_BUDGET)
+                )
+            except _DeltaOversize:
+                # A closure-oversize cede wasted the walked prefix the
+                # same way a blown pure retry does — feed the regime
+                # memory so repeat offenders skip straight to dense.
+                if small is not None and self._small_aborts < 8:
+                    self._small_aborts += 1
+                self.last_delta_path = "dense"
+                return self._delta_dense(att_i, res, advance, need_state)
+            else:
+                if small is not None and self._small_aborts:
+                    self._small_aborts = max(0, self._small_aborts - 2)
+                self.last_delta_path = "vectorized"
+                return counts, touched
+        try:
+            counts, touched = self._delta_pure(att_i, extra_resets, res, budget)
+        except _DeltaOversize as oversize:
+            # The pure pass mutated the scratch mid-flight, but it only
+            # ever mutates entries it has appended to its touched list —
+            # the same invariant the normal path's restore relies on.
+            # So the abort undo is the identical O(touched) baseline
+            # copy-back, not a full scratch resync, and the scratch
+            # stays owned and clean for the next delta.
+            self._restore(oversize.args[0])
+            self._needs_restore = True
+            if budget is not None and self._small_aborts < 8:
+                self._small_aborts += 1
+            self.last_delta_path = "dense"
+            return self._delta_dense(att_i, res, advance, need_state)
+        if budget is not None and self._small_aborts:
+            # Successes weigh double: a sweep with a mixed attacker
+            # population (some quiet, some avalanching) should keep
+            # trying the cheap pure retry, not lock into dense.
+            self._small_aborts = max(0, self._small_aborts - 2)
+        self.last_delta_path = "pure"
+        return counts, touched
+
+    def _delta_dense(
+        self,
+        att_i: int,
+        res: ResolvedAttack | None,
+        advance: bool,
+        need_state: bool,
+    ) -> tuple[tuple[int, int, int, int, int, int], None]:
+        """Full-pass fall-back of the hybrid policy: recompute the
+        attacked (or advanced) state from scratch in one vectorized
+        pass — cheaper than a delta whose dirty region stopped being
+        small.  Returns ``touched=None``; in count-only mode on a numpy
+        build the pass also leaves the python scratch (and the sweep's
+        ownership of it) completely untouched."""
+        ctx = self.ctx
+        run_res = res if res is not None else DEFAULT_RESOLVED
+        if _np is not None:
+            ctx._run_np(
+                self._dest_i, att_i, self._signing, self._ranking,
+                self.model, run_res, writeback=need_state,
+            )
+            self._needs_restore = need_state
+        else:  # pragma: no cover - dense is never selected without numpy
+            ctx._run(
+                self._dest_i, att_i, self._signing, self._ranking,
+                self.model, run_res,
+            )
+        return ctx._last_counts, None
+
+    def _delta_pure(
+        self,
+        att_i: int,
+        extra_resets: Sequence[int] | None,
+        res: ResolvedAttack | None,
+        budget: int | None = None,
     ) -> tuple[tuple[int, int, int, int, int, int], list[int]]:
         """Delta re-fix for one attacker, or a deployment advance.
 
@@ -1795,7 +2264,7 @@ class DestinationSweep:
         signing = self._signing
         ranking = self._ranking
         dirty = self._dirty
-        dep = self._dep
+        dep = self._ensure_dep()
         model = self.model
         coeffs = model.packed_coeffs()
         if coeffs is not None:
@@ -1808,33 +2277,11 @@ class DestinationSweep:
         dest_signed = 1 if signing[dest_i] else 0
         advance = extra_resets is not None
         if att_i >= 0:
-            if advance:
-                # The attacker is already rooted in the baseline; its
-                # resolution was fixed when the chain walker built it.
-                res = self._last_res
-            else:
-                # Resolve the attacker strategy for this pair.  The
-                # snapshot arrays hold the attacker-free state, so
-                # needs_baseline strategies read the attacker's
-                # legitimate record for free.
-                attack = self.attack
-                baseline = None
-                if attack.needs_baseline:
-                    baseline = AttackerBaseline(
-                        has_route=bool(self._b_fixed[att_i]),
-                        length=self._b_len[att_i],
-                        wire_secure=bool(self._b_wire[att_i]),
-                    )
-                res = attack.resolve(
-                    dest_signed=self._dest_signed, baseline=baseline
-                )
-                self._last_res = res
             att_active = res.active
             att_ln = res.length + 1  # length ranked by the attacker's neighbors
             att_wire = 1 if res.wire else 0
             att_exp = res.export_all
         else:
-            res = None
             att_active = False
             att_ln = att_wire = 0
             att_exp = False
@@ -1862,6 +2309,7 @@ class DestinationSweep:
             dep=dep,
             signing=signing,
             soft_prunes=soft_prunes,
+            budget=budget,
         ) -> list[int]:
             """Hard-reset ``w`` and the part of its baseline dependency
             closure whose records cannot survive; returns the newly
@@ -1941,6 +2389,8 @@ class DestinationSweep:
                     # Copy-on-write: the baseline inner list is shared
                     # with the snapshot and must stay pristine.
                     nhops[y] = keep
+            if budget is not None and len(touched) > budget:
+                raise _DeltaOversize(touched, True)
             return resets
 
         def gather(
@@ -2235,6 +2685,8 @@ class DestinationSweep:
             if not dirty[v]:
                 dirty[v] = 1  # first touch of a baseline-unreachable node
                 touched.append(v)
+                if budget is not None and len(touched) > budget:
+                    raise _DeltaOversize(touched, True)
             exports_all = cls_b[v] == 0
             ln = len_l[v] + 1
             wire_v = wire_b[v]
@@ -2373,8 +2825,14 @@ class DestinationSweep:
         # while a chain baseline's rooted attacker never contributed.
         lo, up, alo, aup, sec_n, nfx = self._b_counts
         b_fixed = self._b_fixed
-        b_reach = self._b_reach
-        b_sec = self._b_sec
+        if b_fixed is None:
+            base = self._np_base
+            b_fixed = base["fixed"]
+            b_reach = base["reach"]
+            b_sec = base["sec"]
+        else:
+            b_reach = self._b_reach
+            b_sec = self._b_sec
         root_att = self._root_att
         for x in touched:
             if x != root_att and b_fixed[x]:
@@ -2403,7 +2861,11 @@ class DestinationSweep:
                     aup += 1
                 sec_n += sec_b[x]
                 nfx += 1
-        return (lo, up, alo, aup, sec_n, nfx), touched
+        # int() launders any numpy scalars picked up from an np-sourced
+        # baseline: counts end up in json-serialized stores.
+        return (
+            int(lo), int(up), int(alo), int(aup), int(sec_n), int(nfx)
+        ), touched
 
 
 # ----------------------------------------------------------------------
@@ -2475,8 +2937,11 @@ class RolloutSweep(DestinationSweep):
         deployment: Deployment | None = None,
         model: RankModel = BASELINE,
         attack: AttackStrategy = DEFAULT_ATTACK,
+        delta_kernel: str = "auto",
     ) -> None:
-        super().__init__(topology, destination, deployment, model, attack)
+        super().__init__(
+            topology, destination, deployment, model, attack, delta_kernel
+        )
         # Private mutable masks: the parent's come from the context's
         # per-deployment cache (and may even be its shared zero mask),
         # so advancing in place would poison other computations.
@@ -2538,7 +3003,18 @@ class RolloutSweep(DestinationSweep):
                 signing[i] = 1
         if not seeds:
             return
-        counts, touched = self._delta(self._root_att, extra_resets=seeds)
+        counts, touched = self._delta(
+            self._root_att, extra_resets=seeds, need_state=True
+        )
+        if touched is None:
+            # Dense fall-back: the full pass just recomputed the whole
+            # advanced state, so adopt it wholesale — fresh snapshot,
+            # no valid memo regions, dependency bookkeeping reset.
+            self._take_baseline()
+            self._memo.clear()
+            self._dep_slack = 0
+            self.ctx._sweep_owner = weakref.ref(self)
+            return
         self._commit(counts, touched, seeds)
 
     def _rebuild(self) -> None:
@@ -2560,7 +3036,15 @@ class RolloutSweep(DestinationSweep):
         touched: list[int],
         seeds: Sequence[int],
     ) -> None:
-        """Adopt the advance's re-fixed state as the new baseline."""
+        """Adopt the advance's re-fixed state as the new baseline.
+
+        Every snapshot form the sweep currently holds is updated in
+        place: the python baselines (when they exist), the numpy base
+        (eager on vectorized contexts, lazy elsewhere) and whichever
+        dependency structures have been built — python ``dep`` lists
+        get the append-only patch, the numpy dependency CSR is rebuilt
+        from the committed pair set.
+        """
         ctx = self.ctx
         fixed = ctx._fixed
         key_l = ctx._key
@@ -2573,33 +3057,48 @@ class RolloutSweep(DestinationSweep):
         endp_b = ctx._endpoint
         nhops = ctx._nhops
         b_fixed = self._b_fixed
-        b_key = self._b_key
-        b_cls = self._b_cls
-        b_len = self._b_len
-        b_reach = self._b_reach
-        b_wire = self._b_wire
-        b_sec = self._b_sec
-        b_choice = self._b_choice
-        b_endp = self._b_endpoint
+        py = b_fixed is not None
+        if py:
+            b_key = self._b_key
+            b_cls = self._b_cls
+            b_len = self._b_len
+            b_reach = self._b_reach
+            b_wire = self._b_wire
+            b_sec = self._b_sec
+            b_choice = self._b_choice
+            b_endp = self._b_endpoint
+        base = self._np_base
         b_nhops = self._b_nhops
         dep = self._dep
         dirty = self._dirty
         appended = 0
         for x in touched:
-            b_fixed[x] = fixed[x]
-            b_key[x] = key_l[x]
-            b_cls[x] = cls_b[x]
-            b_len[x] = len_l[x]
-            b_reach[x] = reach_b[x]
-            b_wire[x] = wire_b[x]
-            b_sec[x] = sec_b[x]
-            b_choice[x] = choice_l[x]
-            b_endp[x] = endp_b[x]
+            if py:
+                b_fixed[x] = fixed[x]
+                b_key[x] = key_l[x]
+                b_cls[x] = cls_b[x]
+                b_len[x] = len_l[x]
+                b_reach[x] = reach_b[x]
+                b_wire[x] = wire_b[x]
+                b_sec[x] = sec_b[x]
+                b_choice[x] = choice_l[x]
+                b_endp[x] = endp_b[x]
+            if base is not None:
+                k = key_l[x]
+                base["key"][x] = k if k < _NP_INF else _NP_INF
+                base["fixed"][x] = bool(fixed[x])
+                base["cls"][x] = cls_b[x]
+                base["len"][x] = len_l[x]
+                base["reach"][x] = reach_b[x]
+                base["wire"][x] = wire_b[x]
+                base["sec"][x] = sec_b[x]
+                base["choice"][x] = choice_l[x]
+                base["endp"][x] = endp_b[x]
             old = b_nhops[x]
             h = nhops[x]
             b_nhops[x] = h
             dirty[x] = 0
-            if h is not None and fixed[x]:
+            if dep is not None and h is not None and fixed[x]:
                 # Append-only dependency patch: entries for dropped
                 # memberships go stale, and re-appearing memberships
                 # duplicate — both at worst re-reset a node whose record
@@ -2612,19 +3111,44 @@ class RolloutSweep(DestinationSweep):
                         dep[u].append(x)
                         appended += 1
         self._b_counts = counts
-        self._dep_slack += appended
-        if self._dep_slack > ctx.n:
-            # Stale and duplicated entries only cost harmless extra
-            # resets, but on a long chain they would accumulate; one
-            # linear rebuild per ~n appended entries keeps every dep
-            # list exact at amortized O(1) per commit.
-            fresh: list[list[int]] = [[] for _ in range(ctx.n)]
-            for v, h in enumerate(b_nhops):
+        if base is not None:
+            # The numpy dependency CSR has no harmless-staleness story
+            # (the closure counts dead BPR members against exact set
+            # sizes), so rebuild it from the committed pair set.
+            np = _np
+            drop = np.zeros(ctx.n, dtype=np.bool_)
+            drop[touched] = True
+            keep = ~drop[base["vs"]]
+            new_us: list[int] = []
+            new_vs: list[int] = []
+            for x in touched:
+                h = b_nhops[x]
                 if h:
-                    for u in h:
-                        fresh[u].append(v)
-            self._dep = fresh
-            self._dep_slack = 0
+                    new_us.extend(h)
+                    new_vs.extend([x] * len(h))
+            self._np_attach_dep(
+                base,
+                np.concatenate(
+                    [base["us"][keep], np.array(new_us, dtype=np.int64)]
+                ),
+                np.concatenate(
+                    [base["vs"][keep], np.array(new_vs, dtype=np.int64)]
+                ),
+            )
+        if dep is not None:
+            self._dep_slack += appended
+            if self._dep_slack > ctx.n:
+                # Stale and duplicated entries only cost harmless extra
+                # resets, but on a long chain they would accumulate; one
+                # linear rebuild per ~n appended entries keeps every dep
+                # list exact at amortized O(1) per commit.
+                fresh: list[list[int]] = [[] for _ in range(ctx.n)]
+                for v, h in enumerate(b_nhops):
+                    if h:
+                        for u in h:
+                            fresh[u].append(v)
+                self._dep = fresh
+                self._dep_slack = 0
         if self._memo:
             changed = set(touched)
             changed.update(seeds)
@@ -2649,13 +3173,26 @@ class RolloutSweep(DestinationSweep):
         # their neighbors (gather sources and boundary targets), so that
         # region is the memo's validity certificate.  Tracking it only
         # pays when the region is small — which is also exactly when the
-        # next advance is likely to miss it.
-        if len(touched) <= self.ctx.n >> 3:
+        # next advance is likely to miss it.  A dense fall-back
+        # (``touched is None``) read everything: nothing to memoize.
+        if touched is not None and len(touched) <= self.ctx.n >> 3:
             region = set(touched)
-            edges = self.ctx._edges
-            for x in touched:
-                for e in edges[x]:
-                    region.add(e >> 3)
+            if _np is not None:
+                np = _np
+                start, node, _cls, _cf, _es = self.ctx._np_adjacency()
+                t = np.asarray(touched, dtype=np.int64)
+                s = start[t]
+                cnt = start[t + 1] - s
+                tot = int(cnt.sum())
+                if tot:
+                    cend = np.cumsum(cnt)
+                    eidx = np.repeat(s - (cend - cnt), cnt) + np.arange(tot)
+                    region.update(np.unique(node[eidx]).tolist())
+            else:
+                edges = self.ctx._edges
+                for x in touched:
+                    for e in edges[x]:
+                        region.add(e >> 3)
             self._memo[att_i] = (
                 frozenset(region),
                 (counts[0] - b[0], counts[1] - b[1]),
@@ -2693,6 +3230,7 @@ class _AttackerChain(RolloutSweep):
         deployment: Deployment | None = None,
         model: RankModel = BASELINE,
         attack: AttackStrategy = DEFAULT_ATTACK,
+        delta_kernel: str = "auto",
     ) -> None:
         if attack.needs_baseline:
             raise ValueError(
@@ -2703,7 +3241,9 @@ class _AttackerChain(RolloutSweep):
         ctx = _as_context(topology)
         _, att_i = ctx._check_pair(destination, attacker)
         self._root_att = att_i
-        super().__init__(ctx, destination, deployment, model, attack)
+        super().__init__(
+            ctx, destination, deployment, model, attack, delta_kernel
+        )
 
     def _run_baseline(self) -> None:
         ctx = self.ctx

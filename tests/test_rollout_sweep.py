@@ -313,3 +313,59 @@ class TestRolloutSweep:
         d, m = graph.asns[0], graph.asns[1]
         with pytest.raises(ValueError, match="step-stable"):
             _AttackerChain(graph, d, m, Deployment.empty(), BASELINE, HONEST)
+
+
+class TestDeltaKernelsOnChains:
+    """Advance-mode deltas (rollout commits, attacker-rooted chains) run
+    through the same three kernels as attacker deltas; the numpy and
+    dense paths must replay the pure walk bit for bit at every step."""
+
+    @pytest.mark.parametrize("kind", ["tier12", "tier12_simplex", "tier2"])
+    @pytest.mark.parametrize("seed", [3, 9])
+    def test_rollout_advances_bit_identical(self, seed, kind):
+        pytest.importorskip("numpy")
+        graph, tiers = make_topology(seed, ixp=seed % 2 == 1)
+        chain = make_chain(graph, tiers, kind)
+        pairs = chain_pairs(graph, seed, destinations=1, attackers=4)
+        dest = pairs[0][1]
+        atts = [m for m, _ in pairs]
+        for model in (SECURITY_MODELS[0], lp2_variant(SECURITY_MODELS[1])):
+            walkers = [
+                RolloutSweep(
+                    RoutingContext(graph), dest, chain[0], model,
+                    delta_kernel=kernel,
+                )
+                for kernel in ("pure", "np", "auto")
+            ]
+            for si, step in enumerate(chain):
+                if si:
+                    for w in walkers:
+                        w.advance(step)
+                for m in atts:
+                    pure = walkers[0].happiness_counts(m)
+                    assert walkers[1].happiness_counts(m) == pure, (si, m)
+                    assert walkers[2].happiness_counts(m) == pure, (si, m)
+
+    @pytest.mark.parametrize("attack", [ONE_HOP_HIJACK, FORGED_ORIGIN],
+                             ids=lambda a: a.token)
+    def test_attacker_chain_bit_identical(self, attack):
+        pytest.importorskip("numpy")
+        graph, tiers = make_topology(5)
+        chain = make_chain(graph, tiers, "tier12")
+        pairs = chain_pairs(graph, 5, destinations=2, attackers=2)
+        for model in (BASELINE, SECURITY_MODELS[2]):
+            for m, d in pairs[:4]:
+                chains = [
+                    _AttackerChain(
+                        RoutingContext(graph), d, m, chain[0], model,
+                        attack=attack, delta_kernel=kernel,
+                    )
+                    for kernel in ("pure", "np", "auto")
+                ]
+                for si, step in enumerate(chain):
+                    if si:
+                        for c in chains:
+                            c.advance(step)
+                    pure = chains[0].step_counts()
+                    assert chains[1].step_counts() == pure, (si, m, d)
+                    assert chains[2].step_counts() == pure, (si, m, d)

@@ -36,6 +36,8 @@ from repro.core.attacks import (
 )
 from repro.core.refimpl import RefRoutingContext, ref_compute_routing_outcome
 from repro.core.routing import (
+    DELTA_VEC_MIN,
+    DestinationSweep,
     RoutingContext,
     batch_happiness_counts,
     compute_routing_outcome,
@@ -159,6 +161,108 @@ class TestDifferentialGrid:
             expected = rollout_happiness_counts(pure_ctx, pairs, chain, model)
             got = rollout_happiness_counts(vec_ctx, pairs, chain, model)
             assert got == expected, model.label
+
+
+class TestDeltaKernels:
+    """The three delta re-fix kernels — interpreted heap loop, the
+    compressed numpy bucket kernel and the dense full-pass fallback —
+    must agree bit for bit on counts, full outcomes and the restored
+    baseline, for every model and attacker strategy."""
+
+    @pytest.mark.parametrize("attack", STRATEGIES, ids=lambda a: a.token)
+    @pytest.mark.parametrize(
+        "model", ALL_MODELS[1::2], ids=lambda m: m.label
+    )
+    def test_kernels_bit_identical(self, graph, pure_ctx, vec_ctx, model, attack):
+        for m, d, dep in _instances(
+            graph, f"delta/{model.label}/{attack.token}", k=2
+        ):
+            sp = DestinationSweep(
+                pure_ctx, d, dep, model, attack=attack, delta_kernel="pure"
+            )
+            sn = DestinationSweep(
+                vec_ctx, d, dep, model, attack=attack, delta_kernel="np"
+            )
+            sd = DestinationSweep(
+                vec_ctx, d, dep, model, attack=attack, delta_kernel="dense"
+            )
+            counts = sp.happiness_counts(m)
+            assert sn.happiness_counts(m) == counts
+            assert sn.last_delta_path == "vectorized"
+            assert sd.happiness_counts(m) == counts
+            pure, vec = sp.outcome(m), sn.outcome(m)
+            assert dict(vec.routes) == dict(pure.routes)
+            assert list(vec_ctx._key) == list(pure_ctx._key)
+            # Leak-freedom: each kernel restored its own touched region,
+            # so a second query reads an unpolluted baseline.
+            assert sn.happiness_counts(m) == counts
+            assert sd.happiness_counts(m) == counts
+
+    def test_numpy_snapshot_baseline(self, graph, vec_ctx):
+        """On a vectorized context the sweep baselines live as numpy
+        snapshots (no python-list decode); the counts still match a
+        pure-kernel sweep over the same context."""
+        m, d, dep = _instances(graph, "npsnap", k=1)[0]
+        sn = DestinationSweep(vec_ctx, d, dep, SECURITY_MODELS[0],
+                              delta_kernel="np")
+        counts = sn.happiness_counts(m)
+        assert sn._b_fixed is None and sn._np_base is not None
+        sp = DestinationSweep(vec_ctx, d, dep, SECURITY_MODELS[0],
+                              delta_kernel="pure")
+        assert sp.happiness_counts(m) == counts
+
+
+class TestKernelSelection:
+    """The ``delta_kernel="auto"`` hybrid policy: which of the three
+    paths actually runs for a given (n, dirty-fraction) combination,
+    recorded in :attr:`DestinationSweep.last_delta_path`."""
+
+    def test_forced_kernels_never_switch(self, graph, vec_ctx):
+        m, d, dep = _instances(graph, "forced", k=1)[0]
+        for kernel, path in (
+            ("pure", "pure"), ("np", "vectorized"), ("dense", "dense")
+        ):
+            s = DestinationSweep(vec_ctx, d, dep, SECURITY_MODELS[1],
+                                 delta_kernel=kernel)
+            s.happiness_counts(m)
+            assert s.last_delta_path == path, kernel
+
+    def test_auto_small_closure_stays_pure(self, graph, vec_ctx):
+        """A quiet attacker (honest stub) dirties almost nothing: the
+        numpy closure sweep cedes to the interpreted loop below
+        ``DELTA_VEC_MIN`` touched nodes."""
+        assert DELTA_VEC_MIN == 64
+        asns = graph.asns
+        stubs = [a for a in asns if len(graph.neighbors(a)) == 1]
+        hub = max(asns, key=lambda a: len(graph.neighbors(a)))
+        dep = Deployment.of(asns[: len(asns) // 2])
+        s = DestinationSweep(vec_ctx, hub, dep, SECURITY_MODELS[0],
+                             attack=HONEST, delta_kernel="auto")
+        paths = []
+        for st in stubs[:8]:
+            s.happiness_counts(st)
+            paths.append(s.last_delta_path)
+        assert "pure" in paths
+        # The knife-edge ties of an honest stub can still fan the soft
+        # phase past the pure budget mid-flight — that aborts to the
+        # dense pass, never back to the numpy kernel.
+        assert set(paths) <= {"pure", "dense"}
+
+    def test_auto_mid_fraction_goes_vectorized(self):
+        """A broad hijack at n=1200 dirties hundreds of nodes — above
+        ``DELTA_VEC_MIN`` yet inside the numpy budget — so the
+        compressed kernel runs."""
+        big = generate_topology(TopologyParams(n=1200, seed=7)).graph
+        hubs = sorted(big.asns, key=lambda a: -len(big.neighbors(a)))
+        ctx = RoutingContext(big, vectorized=True)
+        s = DestinationSweep(ctx, hubs[0], Deployment.empty(), BASELINE,
+                             delta_kernel="auto")
+        paths = []
+        for m in hubs[1:7]:
+            s.happiness_counts(m)
+            paths.append(s.last_delta_path)
+        assert "vectorized" in paths
+        assert all(p in ("vectorized", "pure") for p in paths)
 
 
 @pytest.mark.skipif(not HAVE_SHARED_MEMORY, reason="no shared memory")
