@@ -21,6 +21,7 @@ doctest:
 		src/repro/core/metrics.py \
 		src/repro/core/routing.py \
 		src/repro/core/shm.py \
+		src/repro/experiments/faults.py \
 		src/repro/experiments/scenarios.py \
 		src/repro/experiments/store.py
 
@@ -42,6 +43,7 @@ bench:
 bench-check:
 	$(PYTHON) benchmarks/bench_routing.py --check
 	$(PYTHON) benchmarks/bench_rollout.py --check
+	$(PYTHON) benchmarks/bench_pipeline.py --check
 
 ## full pytest-benchmark microbenchmark harness
 bench-micro:

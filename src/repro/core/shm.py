@@ -28,6 +28,10 @@ unlinked, so crashed runs can leak them.  Three layers prevent that:
   live segment even when nobody called ``close()``.
 * Python's own ``resource_tracker`` remains as the backstop for hard
   kills of the whole process tree.
+* :func:`reclaim_orphans` closes the last gap — a SIGKILL'd run whose
+  resource tracker died with it: segment names embed the creator's pid,
+  so the next run detects segments whose creator no longer exists and
+  unlinks them at startup instead of letting ``/dev/shm`` fill up.
 
 The module degrades gracefully: without numpy (or on platforms without
 ``multiprocessing.shared_memory``) :data:`HAVE_SHARED_MEMORY` is False
@@ -71,6 +75,66 @@ def close_all() -> None:
 
 
 atexit.register(close_all)
+
+#: Where POSIX shared-memory segments appear as files (Linux).  On
+#: platforms without it, orphan reclaim degrades to a no-op — there is
+#: no portable way to enumerate segments.
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether a process with this pid currently exists."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, other user
+        return True
+    return True
+
+
+def reclaim_orphans(prefix: str = "repro") -> tuple[str, ...]:
+    """Unlink arena segments leaked by dead processes; return their names.
+
+    Arena names embed the creator's pid (``{prefix}-{pid}-{token}``), so
+    a segment whose creator no longer exists is an orphan by
+    construction: its creator was SIGKILL'd (or OOM-killed) before any
+    of the cleanup layers could run, taking the resource tracker down
+    with it.  Called at context startup (:func:`repro.experiments.
+    runner.make_context`) so one crashed run can never leak ``/dev/shm``
+    into the next; segments belonging to live processes — including this
+    one — are never touched.
+    """
+    if not HAVE_SHARED_MEMORY or not os.path.isdir(_SHM_DIR):
+        return ()
+    reclaimed: list[str] = []
+    for entry in sorted(os.listdir(_SHM_DIR)):
+        if not entry.startswith(prefix + "-"):
+            continue
+        parts = entry.split("-")
+        if len(parts) != 3:
+            continue
+        try:
+            pid = int(parts[1])
+        except ValueError:
+            continue
+        if entry in _LIVE or _pid_alive(pid):
+            continue
+        try:
+            segment = _shm.SharedMemory(name=entry)
+        except FileNotFoundError:  # pragma: no cover - raced another run
+            continue
+        try:
+            # unlink() also unregisters the name from the resource
+            # tracker this attach just registered it with.
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another run
+            pass
+        segment.close()
+        reclaimed.append(entry)
+    return tuple(reclaimed)
 
 
 def _align(offset: int, alignment: int = 8) -> int:

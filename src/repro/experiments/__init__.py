@@ -9,6 +9,8 @@ shared results mapping.
 """
 
 from .config import DEFAULT_SEED, SCALES, Scale, get_scale
+from .failures import EvaluationFailure, FailureLog, Incident
+from .faults import Fault, FaultPlan
 from .registry import (
     ExperimentResult,
     ExperimentSpec,
@@ -18,6 +20,7 @@ from .registry import (
 )
 from .runner import (
     ExperimentContext,
+    SupervisionPolicy,
     evaluate_requests,
     make_context,
     run_experiment,
@@ -28,6 +31,12 @@ from .store import ResultStore
 from .writeup import run_all, run_trials, write_markdown
 
 __all__ = [
+    "EvaluationFailure",
+    "FailureLog",
+    "Incident",
+    "Fault",
+    "FaultPlan",
+    "SupervisionPolicy",
     "Scale",
     "SCALES",
     "DEFAULT_SEED",

@@ -21,6 +21,15 @@ forces step-independent evaluation of nested-deployment chains (the
 default walks them on warm engine state; results are bit-identical);
 ``--profile PATH`` dumps cProfile stats of the first evaluated
 scenario.
+
+Failure contract: worker crashes, hangs and store corruption are
+recovered by the supervision layer and reported as an incident summary;
+a scenario that cannot be evaluated even by the serial fallback makes
+``run``/``write-md`` exit with status :data:`EXIT_SCENARIO_FAILURES`
+(3) and a per-scenario failure summary instead of a bare traceback.
+``--fsync`` picks the store durability policy; ``--fault-plan`` arms
+the deterministic fault-injection harness (testing only; see
+:mod:`repro.experiments.faults`).
 """
 
 from __future__ import annotations
@@ -29,12 +38,19 @@ import argparse
 import signal
 import sys
 import time
+from contextlib import ExitStack
 
 from ..core.attacks import DEFAULT_ATTACK_TOKEN, strategy_from_token
 from .config import DEFAULT_SEED, SCALES
+from .failures import FailureLog
+from .faults import FaultPlan
 from .registry import all_experiments
-from .store import DEFAULT_CACHE_DIR, ResultStore
+from .store import DEFAULT_CACHE_DIR, FSYNC_POLICIES, ResultStore
 from .writeup import run_trials, write_markdown
+
+#: Exit status when one or more scenarios exhausted retries *and* the
+#: serial fallback (1 is an uncaught error, 2 is argparse misuse).
+EXIT_SCENARIO_FAILURES = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -108,6 +124,22 @@ def _common(parser: argparse.ArgumentParser) -> None:
         help="dump cProfile stats of the first evaluated scenario to "
         "PATH (and print the top functions)",
     )
+    parser.add_argument(
+        "--fsync",
+        default="never",
+        choices=FSYNC_POLICIES,
+        help="store durability: fsync after every record, only on "
+        "close, or never (default; crash recovery still truncates any "
+        "torn tail on the next open)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="JSON|@PATH",
+        help="arm the deterministic fault-injection harness with a "
+        "JSON fault plan (inline, or @file); testing only — see "
+        "repro.experiments.faults",
+    )
 
 
 def _attack_token(raw: str) -> str:
@@ -118,8 +150,48 @@ def _attack_token(raw: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
-def _make_store(args: argparse.Namespace) -> ResultStore | None:
-    return None if args.no_cache else ResultStore(args.cache_dir)
+def _make_store(
+    args: argparse.Namespace, failure_log: FailureLog
+) -> ResultStore | None:
+    if args.no_cache:
+        return None
+    return ResultStore(
+        args.cache_dir, fsync=args.fsync, failure_log=failure_log
+    )
+
+
+def _arm_faults(args: argparse.Namespace) -> None:
+    if not args.fault_plan:
+        return
+    blob = args.fault_plan
+    if blob.startswith("@"):
+        with open(blob[1:], encoding="utf-8") as handle:
+            blob = handle.read()
+    FaultPlan.from_json(blob).arm()
+
+
+def _report_failures(failure_log: FailureLog) -> int:
+    """Print the incident summary; nonzero iff scenarios were lost.
+
+    Recovered incidents (dead/hung workers, degraded shards, store
+    repairs) are informational — the run still produced every result.
+    Scenarios that failed even the serial fallback make the run exit
+    with :data:`EXIT_SCENARIO_FAILURES` so calling scripts and CI can
+    tell a complete report from a partial one.
+    """
+    if len(failure_log):
+        print(f"   {failure_log.summary()}", file=sys.stderr)
+    failed = failure_log.scenario_failures()
+    if not failed:
+        return 0
+    print(
+        f"FAILED: {len(failed)} scenario(s) exhausted retries and the "
+        "serial fallback:",
+        file=sys.stderr,
+    )
+    for incident in failed:
+        print(f"  - {incident.render()}", file=sys.stderr)
+    return EXIT_SCENARIO_FAILURES
 
 
 def _store_summary(store: ResultStore | None) -> str:
@@ -162,10 +234,14 @@ def main(argv: list[str] | None = None) -> int:
             ixp = "yes" if spec.supports_ixp else "no"
             print(f"{eid:14s} {spec.paper_reference:28s} {ixp:9s} {spec.title}")
         return 0
+    _arm_faults(args)
+    failure_log = FailureLog()
     if args.command == "run":
-        store = _make_store(args)
         started = time.time()
-        try:
+        with ExitStack() as stack:
+            store = _make_store(args, failure_log)
+            if store is not None:
+                stack.enter_context(store)
             results = run_trials(
                 args.ids,
                 scale=args.scale,
@@ -177,17 +253,17 @@ def main(argv: list[str] | None = None) -> int:
                 attack=args.attack,
                 rollout_major=not args.no_rollout_major,
                 profile_path=args.profile,
+                failure_log=failure_log,
             )
-        finally:
-            if store is not None:
-                store.close()
         for result in results:
             print(result.render())
         print(f"   [{time.time() - started:.1f}s] {_store_summary(store)}\n")
-        return 0
+        return _report_failures(failure_log)
     if args.command == "write-md":
-        store = _make_store(args)
-        try:
+        with ExitStack() as stack:
+            store = _make_store(args, failure_log)
+            if store is not None:
+                stack.enter_context(store)
             results = write_markdown(
                 args.out,
                 scale=args.scale,
@@ -199,13 +275,11 @@ def main(argv: list[str] | None = None) -> int:
                 attack=args.attack,
                 rollout_major=not args.no_rollout_major,
                 profile_path=args.profile,
+                failure_log=failure_log,
             )
-        finally:
-            if store is not None:
-                store.close()
         print(f"wrote {args.out} ({len(results)} experiment blocks)")
         print(f"   {_store_summary(store)}")
-        return 0
+        return _report_failures(failure_log)
     return 1  # pragma: no cover - argparse enforces commands
 
 

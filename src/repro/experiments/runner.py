@@ -38,9 +38,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import random
+import time
+import traceback
 import weakref
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar
+from multiprocessing import connection as mp_connection
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence, Sized, TypeVar
 
 from ..core.attacks import DEFAULT_ATTACK, AttackStrategy, strategy_from_token
 from ..core.deployment import Deployment, ScenarioCatalog
@@ -52,11 +56,13 @@ from ..core.metrics import (
 )
 from ..core.rank import RankModel
 from ..core.routing import VECTORIZED_MIN_N, RoutingContext
-from ..core.shm import HAVE_SHARED_MEMORY
+from ..core.shm import HAVE_SHARED_MEMORY, reclaim_orphans
 from ..topology.generate import SyntheticTopology, TopologyParams, generate_topology
 from ..topology.ixp import augment_with_ixp_peering
 from ..topology.tiers import TierTable, classify_tiers
 from .config import DEFAULT_SEED, Scale, get_scale
+from .failures import EvaluationFailure, FailureLog
+from .faults import active_plan
 from .scenarios import EvalRequest, EvalResults, detect_chains
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -93,6 +99,420 @@ def _run_task(task: tuple) -> object:
     """Pool-side dispatcher: ``worker(inherited context, item, state)``."""
     worker, item, state = task
     return worker(_WORKER_CTX, item, state)
+
+
+# ----------------------------------------------------------------------
+# The supervised fork pool
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Deadlines, retries and backoff of the :class:`SupervisedPool`.
+
+    Deadlines scale with shard size: a shard of ``k`` size units (pairs,
+    destinations) gets ``base_deadline + per_item_deadline * k`` seconds
+    before its worker is declared hung.  The defaults are deliberately
+    generous — tripping a deadline on a healthy run would *cause* work,
+    not save it; supervision is for workers that are actually gone.
+    """
+
+    #: seconds every shard gets regardless of size.
+    base_deadline: float = 300.0
+    #: additional seconds per size unit in the shard.
+    per_item_deadline: float = 2.0
+    #: retries before a shard degrades to in-process serial evaluation.
+    max_retries: int = 3
+    #: base of the exponential retry backoff (``backoff * 2**attempt``).
+    backoff: float = 0.5
+
+    def deadline_for(self, size: int) -> float:
+        return self.base_deadline + self.per_item_deadline * max(1, size)
+
+
+def _supervised_worker_main(conn, slot: int) -> None:
+    """Supervised-pool worker loop: recv shard, evaluate, send result.
+
+    Runs in a fork child that inherited the parent's
+    :class:`ExperimentContext` (via ``_WORKER_CTX``) — including any
+    shared-memory arena mapping — at fork time.  Exceptions are reported
+    back as structured error replies so the supervisor can retry the
+    shard; a crash (SIGKILL, segfault) simply drops the pipe, which the
+    supervisor observes as EOF.
+    """
+    plan = active_plan()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent went away
+            return
+        if msg is None:
+            conn.close()
+            return
+        seq, attempt, tasks = msg
+        try:
+            if plan is not None:
+                plan.fire_worker(shard=seq, attempt=attempt, slot=slot)
+            out = [worker(_WORKER_CTX, item, state)
+                   for worker, item, state in tasks]
+        except BaseException as exc:
+            reply = (
+                "err",
+                seq,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            )
+        else:
+            reply = ("ok", seq, out)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):  # pragma: no cover - parent gone
+            return
+
+
+class _Shard:
+    """One retryable unit of work: a chunk of tasks plus its deadline."""
+
+    __slots__ = ("seq", "tasks", "indices", "attempt", "size", "deadline",
+                 "not_before", "started")
+
+    def __init__(self, seq, tasks, indices, size, deadline):
+        self.seq = seq
+        self.tasks = tasks          # [(worker, item, state), ...]
+        self.indices = indices      # result positions, parallel to tasks
+        self.attempt = 0
+        self.size = size
+        self.deadline = deadline
+        self.not_before = 0.0       # monotonic time gating retry dispatch
+        self.started = 0.0          # monotonic dispatch time
+
+
+class _Worker:
+    """Parent-side handle of one supervised fork worker."""
+
+    __slots__ = ("proc", "conn", "slot", "shard")
+
+    def __init__(self, proc, conn, slot):
+        self.proc = proc
+        self.conn = conn
+        self.slot = slot
+        self.shard: _Shard | None = None
+
+
+class SupervisedPool:
+    """A fork pool that survives its workers.
+
+    The plain ``multiprocessing.Pool`` dies wholesale — or worse, hangs
+    forever — when one worker segfaults, is OOM-killed, or wedges; fine
+    for a batch CLI, fatal for a long-lived evaluation service.  This
+    pool supervises every dispatched shard:
+
+    * a **dead** worker (EOF on its result pipe, SIGKILL, segfault) is
+      detected immediately, its shard re-enqueued, and a replacement
+      forked from the parent — which still holds the warm
+      :class:`~repro.core.routing.RoutingContext` and any shared-memory
+      arena, so the respawn re-inherits everything for free;
+    * a **hung** worker is declared dead when its shard's size-scaled
+      deadline (:meth:`SupervisionPolicy.deadline_for`) expires, then
+      killed and replaced the same way;
+    * a worker that *reports* an exception (e.g. ``MemoryError``) keeps
+      running; only its shard is retried;
+    * retries are bounded (:attr:`SupervisionPolicy.max_retries`) with
+      exponential backoff; a shard that exhausts them **degrades to
+      in-process serial evaluation** in the supervisor — a scenario is
+      never simply lost.  Only if that last resort also raises does the
+      pool raise :class:`~repro.experiments.failures.EvaluationFailure`,
+      which the scheduler catches *per scenario*.
+
+    Every incident lands in the run's :class:`~repro.experiments.
+    failures.FailureLog`.  Results are scattered back into submission
+    order, and evaluation is deterministic, so a run with any number of
+    recovered failures is bit-identical to a clean one (chaos-tested in
+    ``tests/test_faults.py``).
+
+    In the fault-free steady state the supervisor adds no polling: it
+    sleeps in ``multiprocessing.connection.wait`` until a result
+    arrives, exactly like ``Pool.map`` — the deadline only bounds the
+    sleep.  Overhead vs. the unsupervised pool is benchmarked in
+    ``BENCH_pipeline.json`` and floored at ≤ 5 % in CI.
+    """
+
+    def __init__(
+        self,
+        ectx: "ExperimentContext",
+        policy: SupervisionPolicy | None = None,
+        failure_log: FailureLog | None = None,
+    ):
+        self._ctx_ref = weakref.ref(ectx)
+        self._policy = policy or SupervisionPolicy()
+        self._log = failure_log if failure_log is not None else FailureLog()
+        self._mp = multiprocessing.get_context("fork")
+        self._seq = 0
+        self._closed = False
+        self._workers = [self._spawn(slot) for slot in range(ectx.processes)]
+
+    # -- worker lifecycle ----------------------------------------------
+    def _spawn(self, slot: int) -> _Worker:
+        """Fork one worker (it snapshots the warm context copy-on-write)."""
+        ectx = self._ctx_ref()
+        global _WORKER_CTX
+        _WORKER_CTX = ectx
+        try:
+            parent_conn, child_conn = self._mp.Pipe()
+            proc = self._mp.Process(
+                target=_supervised_worker_main,
+                args=(child_conn, slot),
+                daemon=True,
+            )
+            proc.start()
+        finally:
+            _WORKER_CTX = None
+        child_conn.close()
+        return _Worker(proc, parent_conn, slot)
+
+    def _replace(self, worker: _Worker) -> None:
+        """Kill a dead/hung worker and fork a fresh one in its slot."""
+        try:
+            worker.proc.kill()
+        except (ProcessLookupError, ValueError):  # pragma: no cover
+            pass
+        worker.proc.join(timeout=10)
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        fresh = self._spawn(worker.slot)
+        worker.proc, worker.conn = fresh.proc, fresh.conn
+        worker.shard = None
+
+    @property
+    def worker_pids(self) -> tuple[int, ...]:
+        return tuple(w.proc.pid for w in self._workers)
+
+    # -- the supervision loop ------------------------------------------
+    def run(
+        self,
+        tasks: "list[tuple]",
+        chunksize: int,
+        sizes: "Sequence[int] | None" = None,
+    ) -> list:
+        """Evaluate ``tasks`` (``(worker, item, state)`` tuples), fanned
+        out as shards of ``chunksize`` consecutive tasks; returns
+        results in submission order."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if sizes is None:
+            sizes = [1] * len(tasks)
+        results: list = [None] * len(tasks)
+        pending: deque[_Shard] = deque()
+        for start in range(0, len(tasks), chunksize):
+            indices = list(range(start, min(start + chunksize, len(tasks))))
+            size = sum(sizes[i] for i in indices)
+            pending.append(
+                _Shard(
+                    seq=self._seq,
+                    tasks=[tasks[i] for i in indices],
+                    indices=indices,
+                    size=size,
+                    deadline=self._policy.deadline_for(size),
+                )
+            )
+            self._seq += 1
+        remaining = len(pending)
+        while remaining:
+            now = time.monotonic()
+            self._dispatch_ready(pending, now)
+            busy = [w for w in self._workers if w.shard is not None]
+            if not busy:
+                # Every outstanding shard is backing off; sleep to the
+                # earliest retry time.
+                wake = min(s.not_before for s in pending)
+                time.sleep(min(max(wake - now, 0.0) + 0.001, 1.0))
+                continue
+            timeout = self._wait_timeout(busy, pending, now)
+            ready = mp_connection.wait([w.conn for w in busy], timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                remaining -= self._on_message(
+                    by_conn[conn], results, pending
+                )
+            now = time.monotonic()
+            for worker in self._workers:
+                shard = worker.shard
+                if shard is not None and now - shard.started > shard.deadline:
+                    remaining -= self._on_failure(
+                        worker,
+                        "worker_hung",
+                        f"no result after {now - shard.started:.1f}s "
+                        f"(deadline {shard.deadline:.1f}s); worker killed",
+                        results,
+                        pending,
+                    )
+        return results
+
+    def _dispatch_ready(self, pending: deque, now: float) -> None:
+        for worker in self._workers:
+            if worker.shard is not None or not pending:
+                continue
+            shard = self._next_ready(pending, now)
+            if shard is None:
+                return
+            shard.started = now
+            try:
+                worker.conn.send((shard.seq, shard.attempt, shard.tasks))
+            except (BrokenPipeError, OSError):
+                # The idle worker died between shards; replace it and
+                # put the shard back (no attempt consumed — it never
+                # started).
+                self._log.record(
+                    "worker_dead",
+                    detail="worker died while idle (dispatch failed)",
+                    shard=shard.seq,
+                    attempt=shard.attempt,
+                    worker_pid=worker.proc.pid,
+                )
+                self._replace(worker)
+                pending.appendleft(shard)
+                continue
+            worker.shard = shard
+
+    @staticmethod
+    def _next_ready(pending: deque, now: float) -> _Shard | None:
+        """Pop the first shard whose backoff window has passed."""
+        for _ in range(len(pending)):
+            shard = pending.popleft()
+            if shard.not_before <= now:
+                return shard
+            pending.append(shard)
+        return None
+
+    @staticmethod
+    def _wait_timeout(busy, pending, now: float) -> float:
+        """Sleep until the earliest deadline or retry time (a result
+        arriving wakes the wait immediately)."""
+        timeout = min(
+            shard.started + shard.deadline - now
+            for shard in (w.shard for w in busy)
+        )
+        for shard in pending:
+            if shard.not_before > now:
+                timeout = min(timeout, shard.not_before - now)
+        return max(timeout, 0.01)
+
+    def _on_message(self, worker: _Worker, results, pending) -> int:
+        """Handle one readable worker pipe; returns shards completed."""
+        shard = worker.shard
+        try:
+            msg = worker.conn.recv()
+        except (EOFError, OSError):
+            if shard is None:  # pragma: no cover - stray EOF while idle
+                self._replace(worker)
+                return 0
+            return self._on_failure(
+                worker,
+                "worker_dead",
+                "worker crashed (EOF on result pipe — killed or segfaulted)",
+                results,
+                pending,
+            )
+        kind, seq, payload = msg
+        if shard is None or seq != shard.seq:  # pragma: no cover - stale
+            return 0
+        if kind == "ok":
+            for index, value in zip(shard.indices, payload):
+                results[index] = value
+            worker.shard = None
+            return 1
+        # The worker survived and reported an exception: retry the
+        # shard without respawning.
+        self._log.record(
+            "worker_error",
+            detail=payload.splitlines()[0] if payload else "",
+            shard=shard.seq,
+            attempt=shard.attempt,
+            worker_pid=worker.proc.pid,
+            elapsed=time.monotonic() - shard.started,
+        )
+        worker.shard = None
+        return self._retry_or_degrade(shard, results, pending)
+
+    def _on_failure(
+        self, worker: _Worker, kind: str, detail: str, results, pending
+    ) -> int:
+        """A worker died or hung: record, respawn, retry its shard."""
+        shard = worker.shard
+        self._log.record(
+            kind,
+            detail=detail,
+            shard=shard.seq,
+            attempt=shard.attempt,
+            worker_pid=worker.proc.pid,
+            elapsed=time.monotonic() - shard.started,
+        )
+        self._replace(worker)
+        return self._retry_or_degrade(shard, results, pending)
+
+    def _retry_or_degrade(self, shard: _Shard, results, pending) -> int:
+        """Re-enqueue with backoff, or run serially after max retries.
+
+        Returns the number of shards thereby *completed* (0 for a
+        retry, 1 for a successful degradation).
+        """
+        shard.attempt += 1
+        if shard.attempt <= self._policy.max_retries:
+            shard.not_before = time.monotonic() + self._policy.backoff * (
+                2 ** (shard.attempt - 1)
+            )
+            pending.append(shard)
+            return 0
+        # Graceful degradation: the shard failed every pooled attempt;
+        # evaluate it in-process so the scenario is not lost.  Workers
+        # for *other* shards keep running meanwhile.
+        self._log.record(
+            "shard_degraded",
+            detail=(
+                f"exhausted {self._policy.max_retries} retries; "
+                "evaluating in-process serially"
+            ),
+            shard=shard.seq,
+            attempt=shard.attempt,
+        )
+        ectx = self._ctx_ref()
+        plan = active_plan()
+        try:
+            if plan is not None:
+                plan.fire_worker(
+                    shard=shard.seq, attempt=shard.attempt, in_worker=False
+                )
+            for index, (worker_fn, item, state) in zip(
+                shard.indices, shard.tasks
+            ):
+                results[index] = worker_fn(ectx, item, state)
+        except Exception as exc:
+            raise EvaluationFailure(
+                f"shard {shard.seq} failed {self._policy.max_retries} "
+                f"pooled retries and the in-process serial fallback: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        return 1
+
+    # -- teardown (mirrors multiprocessing.Pool's API) ------------------
+    def terminate(self) -> None:
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            try:
+                worker.proc.terminate()
+            except (ProcessLookupError, ValueError):  # pragma: no cover
+                pass
+
+    def join(self) -> None:
+        for worker in self._workers:
+            worker.proc.join(timeout=10)
+            if worker.proc.is_alive():  # pragma: no cover - stuck worker
+                worker.proc.kill()
+                worker.proc.join()
 
 
 def _metric_chunk_worker(
@@ -221,6 +641,15 @@ class ExperimentContext:
     #: dump cProfile stats of the first evaluated scenario here (the
     #: CLI's ``--profile``); None disables profiling.
     profile_path: str | None = None
+    #: supervise the fork pool (crash/hang detection, retries, serial
+    #: degradation).  False keeps the plain ``multiprocessing.Pool`` —
+    #: the unsupervised baseline the supervision-overhead benchmark
+    #: compares against.
+    supervised: bool = True
+    #: deadlines/retry/backoff policy of the supervised pool.
+    supervision: SupervisionPolicy = field(default_factory=SupervisionPolicy)
+    #: structured audit trail of every recovered (and fatal) incident.
+    failure_log: FailureLog = field(default_factory=FailureLog)
     cache: dict = field(default_factory=dict)
     #: scenarios evaluated through :meth:`metric` /
     #: :meth:`metric_chain` (the acceptance counter: a warm-store rerun
@@ -241,8 +670,21 @@ class ExperimentContext:
     # The persistent worker pool
     # ------------------------------------------------------------------
     def _ensure_pool(self):
-        """Fork the worker pool once; reuse it for every parallel call."""
+        """Fork the worker pool once; reuse it for every parallel call.
+
+        With ``supervised`` (the default) this is a
+        :class:`SupervisedPool`; otherwise the plain
+        ``multiprocessing.Pool`` fast path kept as the benchmark
+        baseline (and the behavior of every release before the
+        fault-tolerance layer).
+        """
         if self._pool is None:
+            if self.supervised:
+                self._pool = SupervisedPool(
+                    self, policy=self.supervision,
+                    failure_log=self.failure_log,
+                )
+                return self._pool
             global _WORKER_CTX
             _WORKER_CTX = self
             try:
@@ -279,6 +721,13 @@ class ExperimentContext:
         tasks = [(worker, item, state) for item in items]
         if chunksize is None:
             chunksize = max(1, len(tasks) // (self.processes * 4))
+        if isinstance(pool, SupervisedPool):
+            # Shard deadlines scale with how much work each item holds
+            # (a bin of pairs is len(bin) units, an opaque item one).
+            sizes = [
+                len(item) if isinstance(item, Sized) else 1 for item in items
+            ]
+            return pool.run(tasks, chunksize=chunksize, sizes=sizes)
         return pool.map(_run_task, tasks, chunksize=chunksize)
 
     def close(self) -> None:
@@ -407,6 +856,9 @@ def make_context(
     profile_path: str | None = None,
     vectorized: bool | None = None,
     shared_memory: bool | None = None,
+    supervised: bool = True,
+    supervision: SupervisionPolicy | None = None,
+    failure_log: FailureLog | None = None,
 ) -> ExperimentContext:
     """Build an :class:`ExperimentContext`.
 
@@ -432,10 +884,30 @@ def make_context(
             enables it automatically for multi-process runs on
             vectorized-sized graphs, where fork workers would otherwise
             duplicate the adjacency via refcount churn.
+        supervised: supervise the fork pool — crash/hang detection,
+            bounded retries with backoff, serial degradation (False
+            keeps the plain unsupervised pool).
+        supervision: deadline/retry/backoff policy for the supervised
+            pool (defaults are generous; see :class:`SupervisionPolicy`).
+        failure_log: the :class:`~repro.experiments.failures.FailureLog`
+            incidents are recorded to (a fresh one by default; the CLI
+            shares one log across trials and the store).
     """
     scale_obj = scale if isinstance(scale, Scale) else get_scale(scale)
     if isinstance(attack, str):
         attack = strategy_from_token(attack)
+    if failure_log is None:
+        failure_log = FailureLog()
+    # Startup hygiene: a predecessor SIGKILL'd hard enough to take its
+    # resource tracker down may have leaked /dev/shm segments; reclaim
+    # them before this run creates its own.
+    if HAVE_SHARED_MEMORY:
+        for name in reclaim_orphans():
+            failure_log.record(
+                "arena_reclaimed",
+                detail=f"unlinked orphaned shared-memory segment {name} "
+                "(creator process no longer exists)",
+            )
     topo = generate_topology(TopologyParams(n=scale_obj.n, seed=seed))
     graph = topo.graph
     if ixp:
@@ -461,6 +933,9 @@ def make_context(
         attack=attack,
         rollout_major=rollout_major,
         profile_path=profile_path,
+        supervised=supervised,
+        supervision=supervision or SupervisionPolicy(),
+        failure_log=failure_log,
     )
     _LIVE_CONTEXTS[id(ectx)] = ectx
     return ectx
@@ -559,30 +1034,42 @@ def evaluate_requests(
     else:
         chains = [[request] for request in missing]
     for chain in chains:
-        if len(chain) == 1:
-            request = chain[0]
-            result = _maybe_profile(
-                ectx,
-                lambda: ectx.metric(
-                    request.pairs,
-                    request.to_deployment(),
-                    request.to_model(),
-                    attack=request.to_attack(),
-                ),
-            )
-            if store is not None:
-                store.put(request, result)
-            by_hash[request.scenario_hash] = result
+        try:
+            if len(chain) == 1:
+                request = chain[0]
+                results = [
+                    _maybe_profile(
+                        ectx,
+                        lambda: ectx.metric(
+                            request.pairs,
+                            request.to_deployment(),
+                            request.to_model(),
+                            attack=request.to_attack(),
+                        ),
+                    )
+                ]
+            else:
+                results = _maybe_profile(
+                    ectx,
+                    lambda: ectx.metric_chain(
+                        chain[0].pairs,
+                        [request.to_deployment() for request in chain],
+                        chain[0].to_model(),
+                        attack=chain[0].to_attack(),
+                    ),
+                )
+        except EvaluationFailure as exc:
+            # The supervised pool already burned its retries *and* the
+            # serial fallback; losing this scenario must not lose the
+            # rest of the run.  Record it and keep going — the CLI
+            # turns these into a nonzero exit with a summary.
+            for request in chain:
+                ectx.failure_log.record(
+                    "scenario_failed",
+                    detail=str(exc),
+                    scenario=request.scenario_hash,
+                )
             continue
-        results = _maybe_profile(
-            ectx,
-            lambda: ectx.metric_chain(
-                chain[0].pairs,
-                [request.to_deployment() for request in chain],
-                chain[0].to_model(),
-                attack=chain[0].to_attack(),
-            ),
-        )
         for request, result in zip(chain, results):
             if store is not None:
                 store.put(request, result)
@@ -613,7 +1100,32 @@ def run_experiments(
     results = evaluate_requests(ectx, requests, store=store)
     out = []
     for spec in specs:
-        result = spec.run(ectx, results)
+        try:
+            result = spec.run(ectx, results)
+        except KeyError as exc:
+            # Only swallow the KeyError when a declared scenario really
+            # failed evaluation (recorded above); a KeyError on a fully
+            # evaluated run is an experiment bug and must surface.
+            if not ectx.failure_log.scenario_failures():
+                raise
+            from .registry import ExperimentResult
+
+            ectx.failure_log.record(
+                "experiment_failed",
+                detail=f"{spec.experiment_id}: missing scenario ({exc})",
+            )
+            result = ExperimentResult(
+                experiment_id=spec.experiment_id,
+                title=spec.title,
+                paper_reference=spec.paper_reference,
+                paper_expectation=spec.paper_expectation,
+                rows=[],
+                text=(
+                    "FAILED: one or more scenarios this experiment "
+                    "depends on could not be evaluated (see the failure "
+                    "summary)."
+                ),
+            )
         result.seed = ectx.seed
         result.ixp = ectx.ixp
         out.append(result)

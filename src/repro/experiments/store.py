@@ -24,15 +24,49 @@ and :meth:`ResultStore.get` seeks, reads and parses one line on demand,
 memoizing the decoded record.  Warm runs over large stores therefore
 pay one sequential scan plus one small read per scenario actually
 requested, instead of decoding every stored result up front.
+
+Durability
+----------
+Every record written by :meth:`ResultStore.put` carries a CRC32
+trailer (a ``"crc"`` field computed over the rest of the line), so a
+record that decodes as JSON but was silently corrupted on disk is
+*detected* and treated as absent instead of served as wrong data —
+:meth:`get` then falls back to the newest older record for the hash,
+exactly as for undecodable corruption.  Records without a trailer
+(older stores, foreign writers) are accepted unverified.
+
+A run killed mid-``put`` leaves a **torn tail**: a final line with no
+newline.  The index already skips it (everything before it is intact —
+that is what makes a SIGKILL'd run resume warm), and the store repairs
+it *crash-consistently* before its next append: the torn bytes are
+truncated away so the new record starts on a clean line boundary,
+instead of fusing with the fragment into one corrupt line.  The repair
+is recorded in the attached :class:`~repro.experiments.failures.
+FailureLog`, if any.
+
+``fsync`` policy: ``"never"`` (default — crash durability up to the OS
+page cache, the right trade for a recomputable cache), ``"always"``
+(fsync after every record: survives power loss at ~1 syscall/record),
+or ``"close"`` (one fsync when the store closes).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from ..core.metrics import MetricResult
+from .faults import active_plan
 from .scenarios import EvalRequest, result_from_record, result_to_record
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .failures import FailureLog
+
+#: Accepted ``fsync`` policies.
+FSYNC_POLICIES = ("never", "always", "close")
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -43,6 +77,21 @@ _HASH_PREFIX = b'{"hash":"'
 
 #: Offset sentinel for records living in ``_parsed`` only (fresh puts).
 _IN_MEMORY = -1
+
+
+def _record_crc(record: dict) -> str:
+    """CRC32 (8 hex chars) over the record's canonical payload bytes.
+
+    Computed over the compact JSON of the ``hash``/``request``/
+    ``result`` fields in exactly the order :meth:`ResultStore.put`
+    writes them, so verification re-derives the very bytes that were
+    protected regardless of how a reader reordered the decoded dict.
+    """
+    body = json.dumps(
+        {k: record[k] for k in ("hash", "request", "result") if k in record},
+        separators=(",", ":"),
+    )
+    return format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
 
 
 class ResultStore:
@@ -90,9 +139,20 @@ class ResultStore:
         True
     """
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR):
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        fsync: str = "never",
+        failure_log: "FailureLog | None" = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
         self.root = Path(root)
         self.path = self.root / "results.jsonl"
+        self.fsync = fsync
+        self.failure_log = failure_log
         self.hits = 0
         self.misses = 0
         #: hash → byte offset of its newest record line (or _IN_MEMORY).
@@ -101,11 +161,18 @@ class ResultStore:
         self._parsed: dict[str, dict] = {}
         self._handle = None
         self._reader = None
+        self._puts = 0
         #: Byte offset just past the last *complete* indexed line; the
         #: starting point for tail rescans (:meth:`_refresh`).  A
         #: truncated trailing line never advances it, so an in-progress
         #: write by another process is rescanned once it completes.
         self._indexed_size = 0
+        #: Crash-recovery state: when a torn tail is detected (at open,
+        #: or after an injected torn write), the next append first
+        #: truncates the file back to ``_repair_to`` so the new record
+        #: cannot fuse with the fragment into one corrupt line.
+        self._repair_pending = False
+        self._repair_to = 0
         self._index()
 
     def _index(self) -> None:
@@ -125,6 +192,23 @@ class ResultStore:
             return
         with open(self.path, "rb") as handle:
             self._indexed_size = self._scan(handle, 0)
+            size = os.fstat(handle.fileno()).st_size
+        if size > self._indexed_size:
+            # Torn tail: bytes past the last newline — a predecessor was
+            # killed mid-put.  Everything indexed is intact (the run
+            # resumes warm from the last good record); the fragment is
+            # truncated away before this store's first append.
+            self._repair_pending = True
+            self._repair_to = self._indexed_size
+            if self.failure_log is not None:
+                self.failure_log.record(
+                    "store_torn_tail",
+                    detail=(
+                        f"{size - self._indexed_size} torn trailing bytes "
+                        f"in {self.path} (predecessor killed mid-write); "
+                        "will truncate before next append"
+                    ),
+                )
 
     def _scan(self, handle, base: int) -> int:
         """Index every complete record line from byte ``base`` onward.
@@ -224,9 +308,18 @@ class ResultStore:
             record = json.loads(line)
         except json.JSONDecodeError:
             return None
-        if isinstance(record, dict) and "hash" in record and "result" in record:
-            return record
-        return None
+        if not (
+            isinstance(record, dict) and "hash" in record and "result" in record
+        ):
+            return None
+        crc = record.get("crc")
+        if crc is not None and crc != _record_crc(record):
+            # The CRC32 trailer disagrees: the line decodes as JSON but
+            # its payload was corrupted on disk.  Treat as absent —
+            # get() falls back to the newest older record for the hash —
+            # rather than serve silently wrong data.
+            return None
+        return record
 
     # -- mapping views --------------------------------------------------
     def __contains__(self, scenario_hash: str) -> bool:
@@ -272,7 +365,13 @@ class ResultStore:
 
     # -- writes ---------------------------------------------------------
     def put(self, request: EvalRequest, result: MetricResult) -> str:
-        """Persist one evaluated scenario; returns its hash."""
+        """Persist one evaluated scenario; returns its hash.
+
+        The written line is the compact record JSON with a CRC32
+        trailer field spliced in (``{"hash":...,...,"crc":"xxxxxxxx"}``)
+        — still one line of plain JSON, so foreign readers are
+        unaffected, but bit-rot is detectable on read.
+        """
         scenario_hash = request.scenario_hash
         record = {
             "hash": scenario_hash,
@@ -285,17 +384,79 @@ class ResultStore:
             # Unbuffered binary append: every write below hits the file
             # as one atomic O_APPEND syscall (one complete JSONL line).
             handle = self._handle = open(self.path, "ab", buffering=0)
-        handle.write(
-            (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
-        )
+        if self._repair_pending:
+            self._repair_tail(handle)
+        record["crc"] = _record_crc(record)
+        line = (
+            json.dumps(record, separators=(",", ":")) + "\n"
+        ).encode("utf-8")
+        fault = None
+        plan = active_plan()
+        if plan is not None:
+            fault = plan.torn_write(self._puts)
+        self._puts += 1
+        if fault is not None:
+            # Injected crash mid-write: append only a prefix of the
+            # line and leave the record unindexed, exactly the state a
+            # SIGKILL between write() syscalls would leave behind; the
+            # next append (or the next store opened on this file) runs
+            # the torn-tail repair.
+            self._repair_to = os.fstat(handle.fileno()).st_size
+            handle.write(line[: max(1, len(line) // 2)])
+            self._repair_pending = True
+            if self.failure_log is not None:
+                self.failure_log.record(
+                    "store_torn_write",
+                    detail=f"injected torn write of {scenario_hash}",
+                    scenario=scenario_hash,
+                )
+            return scenario_hash
+        handle.write(line)
+        if self.fsync == "always":
+            os.fsync(handle.fileno())
         self._parsed[scenario_hash] = record
         self._offsets[scenario_hash] = _IN_MEMORY
         return scenario_hash
 
+    def _repair_tail(self, handle) -> None:
+        """Truncate a torn tail so the next append starts a clean line.
+
+        Skipped (with a rescan instead) if the tail gained a newline
+        since it was diagnosed — a concurrent writer completed the line,
+        so it is data, not wreckage.
+        """
+        self._repair_pending = False
+        size = os.fstat(handle.fileno()).st_size
+        if size <= self._repair_to:
+            return
+        with open(self.path, "rb") as reader:
+            reader.seek(self._repair_to)
+            tail = reader.read(size - self._repair_to)
+        if b"\n" in tail:
+            self._refresh()
+            return
+        os.ftruncate(handle.fileno(), self._repair_to)
+        if self.failure_log is not None:
+            self.failure_log.record(
+                "store_recovery",
+                detail=(
+                    f"truncated {size - self._repair_to} torn trailing "
+                    f"bytes from {self.path}"
+                ),
+            )
+
     # -- lifecycle ------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True when no file handles are currently open."""
+        return self._handle is None and self._reader is None
+
     def close(self) -> None:
-        """Close the append and read handles (reopened lazily)."""
+        """Close the append and read handles (idempotent; handles are
+        reopened lazily if the store is used again)."""
         if self._handle is not None:
+            if self.fsync in ("always", "close"):
+                os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
         if self._reader is not None:

@@ -14,6 +14,7 @@ import time
 from typing import Sequence
 
 from .config import DEFAULT_SEED, get_scale
+from .failures import FailureLog
 from .registry import ExperimentResult, aggregate_trials, all_experiments
 from .runner import make_context, run_experiments
 from .store import ResultStore
@@ -50,6 +51,7 @@ def run_trials(
     attack: str = "hijack",
     rollout_major: bool = True,
     profile_path: str | None = None,
+    failure_log: FailureLog | None = None,
 ) -> list[ExperimentResult]:
     """Run experiments over ``trials`` consecutive topology seeds.
 
@@ -58,7 +60,9 @@ def run_trials(
     incremental.  With ``trials == 1`` the single trial's results are
     returned untouched; otherwise rows become mean ± stderr aggregates.
     ``attack`` sets the run-wide attacker strategy (requests that pin
-    their own threat model are unaffected).
+    their own threat model are unaffected).  ``failure_log`` collects
+    supervision incidents across every trial (one log per run, not per
+    context), so the caller can inspect or report them afterwards.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
@@ -68,6 +72,7 @@ def run_trials(
             scale=scale, seed=seed + trial, ixp=ixp, processes=processes,
             attack=attack, rollout_major=rollout_major,
             profile_path=profile_path if trial == 0 else None,
+            failure_log=failure_log,
         ) as ectx:
             per_trial.append(
                 run_experiments(ectx, list(experiment_ids), store=store)
@@ -86,6 +91,7 @@ def run_all(
     attack: str = "hijack",
     rollout_major: bool = True,
     profile_path: str | None = None,
+    failure_log: FailureLog | None = None,
 ) -> list[ExperimentResult]:
     """Run every registered experiment (plus the Appendix J reruns)."""
     specs = all_experiments()
@@ -93,7 +99,7 @@ def run_all(
     results = run_trials(
         ids, scale=scale, seed=seed, processes=processes, trials=trials,
         store=store, attack=attack, rollout_major=rollout_major,
-        profile_path=profile_path,
+        profile_path=profile_path, failure_log=failure_log,
     )
     if include_ixp:
         ixp_ids = [
@@ -103,7 +109,7 @@ def run_all(
             results += run_trials(
                 ixp_ids, scale=scale, seed=seed, processes=processes,
                 trials=trials, store=store, ixp=True, attack=attack,
-                rollout_major=rollout_major,
+                rollout_major=rollout_major, failure_log=failure_log,
             )
     return results
 
@@ -119,6 +125,7 @@ def write_markdown(
     attack: str = "hijack",
     rollout_major: bool = True,
     profile_path: str | None = None,
+    failure_log: FailureLog | None = None,
 ) -> list[ExperimentResult]:
     """Run everything and write EXPERIMENTS.md to ``path``."""
     started = time.time()
@@ -126,6 +133,7 @@ def write_markdown(
         scale=scale, seed=seed, processes=processes, include_ixp=include_ixp,
         trials=trials, store=store, attack=attack,
         rollout_major=rollout_major, profile_path=profile_path,
+        failure_log=failure_log,
     )
     elapsed = time.time() - started
     blocks = [

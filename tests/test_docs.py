@@ -24,6 +24,7 @@ import repro.core.attacks
 import repro.core.metrics
 import repro.core.routing
 import repro.core.shm
+import repro.experiments.faults
 import repro.experiments.scenarios
 import repro.experiments.store
 
@@ -37,6 +38,7 @@ DOCTEST_MODULES = (
     repro.core.metrics,
     repro.core.routing,
     repro.core.shm,
+    repro.experiments.faults,
     repro.experiments.scenarios,
     repro.experiments.store,
 )
