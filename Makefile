@@ -2,11 +2,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-micro golden docs doctest
+.PHONY: test test-service bench bench-check bench-micro golden docs doctest
 
 ## tier-1 test suite (the CI gate)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## service plane: HTTP API, store backends, concurrency stress (the CI
+## `service` job adds coverage >= 85% on repro.service + the store)
+test-service:
+	$(PYTHON) -m pytest -q --durations=15 tests/test_service.py \
+		tests/test_store_backends.py tests/test_store_concurrency.py
 
 ## the docs gate: doctests for the documented public API + internal
 ## markdown link check (also run inside tier-1 via tests/test_docs.py)
@@ -38,8 +44,9 @@ bench:
 ## destination-major speedups fall below 2.5x, the vectorized-kernel
 ## speedup below 2x, or the rollout-major chain speedup below 2x
 ## (generous vs the ~4.3x/~4.7x/~3.6x/~3.4x they record on dev
-## hardware); never touches the repo's committed BENCH files (check
-## output defaults to temp files)
+## hardware), the supervision overhead above 5%, or the service warm
+## path below 20x the cold evaluation rate; never touches the repo's
+## committed BENCH files (check output defaults to temp files)
 bench-check:
 	$(PYTHON) benchmarks/bench_routing.py --check
 	$(PYTHON) benchmarks/bench_rollout.py --check

@@ -16,6 +16,13 @@ event-driven — fault-free it adds one ``connection.wait`` per message —
 so the overhead is floored at ≤ :data:`MAX_SUPERVISION_OVERHEAD_PCT`
 by ``--check`` (the ``make bench-check`` CI smoke).
 
+A fourth section times the *service warm path*: ``repro serve`` held
+in-process, one cold ``POST /v1/metrics`` that evaluates on the pool,
+then the same scenario hammered over a keep-alive connection so every
+request answers from the store.  ``--check`` floors the warm-hit
+throughput at ≥ :data:`MIN_SERVICE_WARM_SPEEDUP`× the cold evaluation
+rate and records the p50 HTTP latency for a cached hash.
+
 Run via ``make bench`` or directly::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--scale tiny]
@@ -24,15 +31,22 @@ Run via ``make bench`` or directly::
 from __future__ import annotations
 
 import argparse
+import asyncio
+import http.client
 import json
 import platform
 import shutil
+import statistics
 import subprocess
 import tempfile
+import threading
 import time
 from pathlib import Path
 
-from repro.experiments import ResultStore, make_context, run_experiments
+from repro.core import SECURITY_SECOND, Deployment
+from repro.experiments import ResultStore, make_context, open_store, run_experiments
+from repro.experiments.scenarios import EvalRequest
+from repro.service import Service, create_server
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
@@ -54,6 +68,16 @@ EXPERIMENTS = (
 #: Ceiling on supervised-vs-unsupervised pool wall time, in percent.
 #: Enforced by ``--check``; the full run records the number for diffs.
 MAX_SUPERVISION_OVERHEAD_PCT = 5.0
+
+#: Floor on the service warm path: answering a cached scenario hash
+#: over HTTP must sustain at least this many times the cold evaluation
+#: rate.  Enforced by ``--check`` on the ``small`` tier.
+MIN_SERVICE_WARM_SPEEDUP = 20.0
+
+#: Scale the service warm-path section measures (and ``--check``
+#: floors); ``small`` is the smallest tier with a non-trivial cold
+#: evaluation, so the speedup ratio means something.
+SERVICE_SCALE = "small"
 
 
 def _timed_run(scale: str, seed: int, processes: int, cache_dir: Path) -> dict:
@@ -126,6 +150,108 @@ def supervision_overhead(
     }
 
 
+class _ServiceThread:
+    """The evaluation service running on an asyncio loop in a daemon
+    thread, so the benchmark can drive it synchronously over HTTP."""
+
+    def __init__(self, scale: str, seed: int, cache_dir: Path):
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main(scale, seed, cache_dir)),
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("service failed to start within 120s")
+
+    async def _main(self, scale: str, seed: int, cache_dir: Path) -> None:
+        store = open_store(cache_dir, backend="sqlite")
+        service = Service(store, default_scale=scale, default_seed=seed)
+        server = create_server(service, port=0)
+        await server.start()
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._shutdown.wait()
+        finally:
+            await server.stop()
+            await service.aclose()
+            store.close()
+
+    def stop(self) -> None:
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+        self._thread.join(timeout=120)
+
+
+def service_warm_path(
+    scale: str = SERVICE_SCALE, seed: int = 2013, warm_requests: int = 300
+) -> dict:
+    """Cold eval vs. cached-hash HTTP round-trips against a live service.
+
+    One ``POST /v1/metrics`` pays topology construction plus a pool
+    evaluation; the same body repeated on a keep-alive connection is a
+    pure store hit, so the p50 latency *is* the service overhead for a
+    cached scenario hash.  The speedup compares warm-hit throughput to
+    the cold evaluation rate (1 / cold seconds).
+    """
+    request = EvalRequest.build(
+        scale=scale,
+        seed=seed,
+        ixp=False,
+        pairs=[(3, 2)],
+        deployment=Deployment.of([2, 3]),
+        model=SECURITY_SECOND,
+    )
+    body = json.dumps({"request": request.canonical()})
+    headers = {"Content-Type": "application/json"}
+    workdir = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    service = _ServiceThread(scale, seed, workdir / "cache")
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", service.port)
+        started = time.perf_counter()
+        conn.request("POST", "/v1/metrics", body=body, headers=headers)
+        reply = json.loads(conn.getresponse().read())
+        cold_seconds = time.perf_counter() - started
+        entry = reply["results"][0]
+        assert entry["ok"] and not entry["cached"], entry
+        latencies: list[float] = []
+        warm_started = time.perf_counter()
+        for _ in range(warm_requests):
+            t0 = time.perf_counter()
+            conn.request("POST", "/v1/metrics", body=body, headers=headers)
+            reply = json.loads(conn.getresponse().read())
+            latencies.append(time.perf_counter() - t0)
+            assert reply["results"][0]["cached"], reply
+        warm_seconds = time.perf_counter() - warm_started
+        conn.close()
+    finally:
+        service.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+    warm_rps = warm_requests / warm_seconds
+    latencies.sort()
+    return {
+        "scale": scale,
+        "seed": seed,
+        "cold_eval_seconds": round(cold_seconds, 3),
+        "warm_requests": warm_requests,
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_hits_per_sec": round(warm_rps, 1),
+        "p50_latency_ms": round(
+            statistics.median(latencies) * 1000.0, 3
+        ),
+        "p90_latency_ms": round(
+            latencies[int(len(latencies) * 0.9)] * 1000.0, 3
+        ),
+        "warm_vs_cold_speedup": round(warm_rps * cold_seconds, 1),
+        "min_speedup": MIN_SERVICE_WARM_SPEEDUP,
+    }
+
+
 def run(scale: str, seed: int, processes: int) -> dict:
     workdir = Path(tempfile.mkdtemp(prefix="bench-pipeline-"))
     try:
@@ -159,6 +285,7 @@ def run(scale: str, seed: int, processes: int) -> dict:
         "warm_store": warm,
         "warm_speedup": round(cold["seconds"] / max(warm["seconds"], 1e-9), 2),
         "supervision": supervision_overhead(scale, seed),
+        "service": service_warm_path(seed=seed),
     }
 
 
@@ -188,6 +315,16 @@ def main() -> None:
             f"OK: supervision overhead {section['overhead_pct']}% <= "
             f"{MAX_SUPERVISION_OVERHEAD_PCT}%"
         )
+        warm = service_warm_path(seed=args.seed)
+        print(json.dumps(warm, indent=2))
+        assert warm["warm_vs_cold_speedup"] >= MIN_SERVICE_WARM_SPEEDUP, (
+            f"service warm hits run only {warm['warm_vs_cold_speedup']}x the "
+            f"cold evaluation rate (floor: {MIN_SERVICE_WARM_SPEEDUP}x)"
+        )
+        print(
+            f"OK: service warm path {warm['warm_vs_cold_speedup']}x cold "
+            f"(p50 {warm['p50_latency_ms']}ms) >= {MIN_SERVICE_WARM_SPEEDUP}x"
+        )
         return
     record = run(args.scale, args.seed, args.processes)
     args.output.write_text(json.dumps(record, indent=2) + "\n")
@@ -196,7 +333,9 @@ def main() -> None:
         f"\nwrote {args.output} (warm store {record['warm_speedup']}x faster, "
         f"{record['cold_store']['scenarios_evaluated']} scenarios cold / "
         f"{record['warm_store']['scenarios_evaluated']} warm, supervision "
-        f"overhead {record['supervision']['overhead_pct']}%)"
+        f"overhead {record['supervision']['overhead_pct']}%, service warm "
+        f"path {record['service']['warm_vs_cold_speedup']}x cold at p50 "
+        f"{record['service']['p50_latency_ms']}ms)"
     )
 
 

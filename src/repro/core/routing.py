@@ -306,6 +306,7 @@ class RoutingContext:
         "peers_idx",
         "vectorized",
         "shared_arena",
+        "_arena_released",
         "rank_coeffs",
         "_edges_cache",
         "_np_adj",
@@ -342,6 +343,7 @@ class RoutingContext:
         *,
         vectorized: bool | None = None,
         shared: bool = False,
+        shared_key: object = None,
     ) -> None:
         self.graph = graph
         asn_of, index_of = graph.dense_index()
@@ -410,8 +412,9 @@ class RoutingContext:
         #: :class:`repro.core.shm.SharedArena` holding the frozen CSR
         #: buffers, or None when they live in ordinary process memory.
         self.shared_arena = None
+        self._arena_released = False
         if shared:
-            self._share_buffers()
+            self._share_buffers(shared_key)
         # Hot-loop adjacency for the pure kernel: per-node lists of
         # ``(v << 3)|(class << 1)|cust``.  Derived from the CSR; built
         # lazily on vectorized contexts, which usually never need it.
@@ -496,16 +499,22 @@ class RoutingContext:
             edges = self._edges_cache = self._build_edges()
         return edges
 
-    def _share_buffers(self) -> None:
+    def _share_buffers(self, shared_key: object = None) -> None:
         """Move the frozen CSR + rank-coefficient buffers into one
         shared-memory segment and rebind them as zero-copy views.
 
         Fork workers then read a single physical mapping instead of
         dirtying copy-on-write pages through refcount churn (see
-        :mod:`repro.core.shm`).  Call :meth:`close` (or rely on the shm
-        module's atexit hook) to unlink the segment.
+        :mod:`repro.core.shm`).  With a ``shared_key`` (anything that
+        uniquely determines the frozen buffers, e.g. the (scale, seed,
+        ixp) that generated the graph), sibling contexts for the same
+        topology map the *same* physical segment via
+        :func:`repro.core.shm.arena_for` instead of one segment each —
+        what a service holding several resident contexts wants.  Call
+        :meth:`close` (or rely on the shm module's atexit hook) to
+        unlink the segment.
         """
-        from .shm import HAVE_SHARED_MEMORY, SharedArena
+        from .shm import HAVE_SHARED_MEMORY, SharedArena, arena_for
 
         if not HAVE_SHARED_MEMORY:  # pragma: no cover - numpy baked in
             raise RuntimeError(
@@ -513,19 +522,23 @@ class RoutingContext:
                 "multiprocessing.shared_memory"
             )
         np = _np
-        coeffs = np.array(
-            [m.packed_coeffs() for m in _COEFF_MODELS], dtype=np.int64
-        )
-        arena = SharedArena(
-            {
+
+        def _arrays() -> dict:
+            coeffs = np.array(
+                [m.packed_coeffs() for m in _COEFF_MODELS], dtype=np.int64
+            )
+            return {
                 "adj_start": np.asarray(self.adj_start, dtype=np.int64),
                 "adj_node": np.asarray(self.adj_node, dtype=np.int64),
                 "adj_class": _u8(self.adj_class),
                 "adj_custflag": _u8(self.adj_custflag),
                 "rank_coeffs": coeffs,
-            },
-            prefix="repro-ctx",
-        )
+            }
+
+        if shared_key is not None:
+            arena = arena_for(shared_key, _arrays, prefix="repro-ctx")
+        else:
+            arena = SharedArena(_arrays(), prefix="repro-ctx")
         self.shared_arena = arena
         self.adj_start = arena.array("adj_start")
         self.adj_node = arena.array("adj_node")
@@ -534,14 +547,17 @@ class RoutingContext:
         self.rank_coeffs = arena.array("rank_coeffs")
 
     def close(self) -> None:
-        """Unlink the shared-memory segment, if any (idempotent).
+        """Release this context's hold on its shared segment (idempotent).
 
-        Live views — including those in forked workers — stay valid;
-        only the ``/dev/shm`` name goes away.  No-op for contexts whose
+        The segment is unlinked once the last holder lets go — sibling
+        contexts sharing a keyed arena keep it alive.  Live views —
+        including those in forked workers — stay valid even then; only
+        the ``/dev/shm`` name goes away.  No-op for contexts whose
         buffers live in ordinary process memory.
         """
         arena = self.shared_arena
-        if arena is not None:
+        if arena is not None and not self._arena_released:
+            self._arena_released = True
             arena.close()
 
     def __enter__(self) -> "RoutingContext":

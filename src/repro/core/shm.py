@@ -62,6 +62,14 @@ HAVE_SHARED_MEMORY = _np is not None and _shm is not None
 #: if the owning context was dropped without ``close()``).
 _LIVE: dict[str, "SharedArena"] = {}
 
+#: sharing key → live :class:`SharedArena`, for arenas created through
+#: :func:`arena_for`.  A service keeping several resident routing
+#: contexts for the *same* frozen topology (same scale, seed, IXP
+#: augmentation) maps them all onto one physical segment instead of one
+#: per context; the arena refcounts its holders and unlinks when the
+#: last one closes.
+_BY_KEY: dict[object, "SharedArena"] = {}
+
 
 def active_segments() -> tuple[str, ...]:
     """Names of the segments this process created and not yet unlinked."""
@@ -69,9 +77,52 @@ def active_segments() -> tuple[str, ...]:
 
 
 def close_all() -> None:
-    """Unlink every live arena created by this process (atexit hook)."""
+    """Unlink every live arena created by this process (atexit hook).
+
+    Force-closes regardless of outstanding refcounts: at interpreter
+    exit nothing will release shared holders, and an un-unlinked
+    segment would outlive the process in ``/dev/shm``.
+    """
     for arena in list(_LIVE.values()):
-        arena.close()
+        arena.close(force=True)
+
+
+def arena_for(
+    key: object, arrays_factory, prefix: str = "repro"
+) -> "SharedArena":
+    """Fetch-or-create the shared arena for a content key.
+
+    ``key`` must uniquely determine the frozen array contents (e.g.
+    ``(scale, n, seed, ixp)`` for routing-context buffers — the
+    topology is deterministic in those inputs, so equal keys mean
+    bit-equal buffers).  A live arena for the key is *retained* (its
+    refcount grows; every holder must eventually :meth:`SharedArena.
+    close`) and returned without building the arrays at all; otherwise
+    ``arrays_factory()`` is called and a fresh keyed arena created.
+    Only arenas created by this process are shared — a fork child asking
+    for the same key builds its own (children inherit the parent's
+    mapping anyway and never create arenas in practice).
+    """
+    arena = _BY_KEY.get(key)
+    if (
+        arena is not None
+        and not arena.closed
+        and arena.creator_pid == os.getpid()
+    ):
+        arena.retain()
+        return arena
+    return SharedArena(arrays_factory(), prefix=prefix, key=key)
+
+
+def arena_stats() -> dict:
+    """Live-arena accounting for service ``/v1/stats``: segment count,
+    total bytes, and how many extra holders keyed sharing absorbed."""
+    live = [arena for arena in _LIVE.values() if not arena.closed]
+    return {
+        "segments": len(live),
+        "bytes": sum(arena.size for arena in live),
+        "shared_holders": sum(max(0, arena.refs - 1) for arena in live),
+    }
 
 
 atexit.register(close_all)
@@ -166,14 +217,21 @@ class SharedArena:
 
     __slots__ = (
         "name",
+        "key",
         "creator_pid",
         "_segment",
         "_views",
         "_closed",
+        "_refs",
         "__weakref__",
     )
 
-    def __init__(self, arrays: dict[str, "object"], prefix: str = "repro"):
+    def __init__(
+        self,
+        arrays: dict[str, "object"],
+        prefix: str = "repro",
+        key: object = None,
+    ):
         if not HAVE_SHARED_MEMORY:  # pragma: no cover - numpy baked in
             raise RuntimeError(
                 "shared-memory arenas need numpy and "
@@ -202,11 +260,27 @@ class SharedArena:
             view[...] = arr
             views[name] = view
         self._views = views
+        self.key = key
+        self._refs = 1
         _LIVE[self.name] = self
+        if key is not None:
+            _BY_KEY[key] = self
 
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def refs(self) -> int:
+        """How many holders still own this arena (see :func:`arena_for`)."""
+        return self._refs
+
+    def retain(self) -> "SharedArena":
+        """Register one more holder; pairs with one extra :meth:`close`."""
+        if self._closed:
+            raise ValueError(f"arena {self.name} is closed")
+        self._refs += 1
+        return self
 
     @property
     def size(self) -> int:
@@ -221,18 +295,26 @@ class SharedArena:
         """All views, by name."""
         return dict(self._views)
 
-    def close(self) -> None:
-        """Unlink the segment (creator only; idempotent).
+    def close(self, force: bool = False) -> None:
+        """Release one holder; unlink when the last one lets go.
 
         Existing views — in this process and in forked workers — stay
         valid: the kernel frees the memory when the last mapping goes
         away, but the ``/dev/shm`` name is gone immediately, so crashed
         *future* runs cannot observe or accumulate stale segments.
+        Keyed arenas (see :func:`arena_for`) may have several holders;
+        ``force=True`` unlinks regardless of outstanding refcounts
+        (used by the :func:`close_all` atexit hook).
         """
         if self._closed:
             return
+        self._refs -= 1
+        if self._refs > 0 and not force:
+            return
         self._closed = True
         _LIVE.pop(self.name, None)
+        if self.key is not None and _BY_KEY.get(self.key) is self:
+            del _BY_KEY[self.key]
         if os.getpid() != self.creator_pid:  # pragma: no cover - fork child
             return
         try:

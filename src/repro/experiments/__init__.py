@@ -27,7 +27,14 @@ from .runner import (
     run_experiments,
 )
 from .scenarios import EvalRequest, EvalResults, SweepSpec, request_for
-from .store import ResultStore
+from .store import (
+    ResultStore,
+    ResultStoreBase,
+    SqliteResultStore,
+    export_jsonl,
+    import_jsonl,
+    open_store,
+)
 from .writeup import run_all, run_trials, write_markdown
 
 __all__ = [
@@ -56,6 +63,11 @@ __all__ = [
     "SweepSpec",
     "request_for",
     "ResultStore",
+    "ResultStoreBase",
+    "SqliteResultStore",
+    "open_store",
+    "export_jsonl",
+    "import_jsonl",
     "run_all",
     "run_trials",
     "write_markdown",

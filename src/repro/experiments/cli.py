@@ -6,7 +6,15 @@ Commands:
 * ``run <id> [<id> ...]`` — run experiments through the scenario
   scheduler and print their reports;
 * ``write-md`` — regenerate EXPERIMENTS.md (all experiments + the
-  Appendix J IXP reruns).
+  Appendix J IXP reruns);
+* ``serve`` — run the always-on evaluation service
+  (:mod:`repro.service`): warm resident contexts, read-through result
+  cache (sqlite by default — safe under concurrent writers), chunked
+  streaming of rollout progress;
+* ``store export`` / ``store import`` — round-trip any store backend
+  through the JSONL interchange format (records are byte-identical, so
+  an exported sqlite cache replays into a JSONL store with the same
+  scenario hashes and payloads).
 
 Shared flags: ``--trials K`` evaluates every sweep over K consecutive
 topology seeds and reports mean ± stderr rows; ``--cache-dir`` points
@@ -45,7 +53,15 @@ from .config import DEFAULT_SEED, SCALES
 from .failures import FailureLog
 from .faults import FaultPlan
 from .registry import all_experiments
-from .store import DEFAULT_CACHE_DIR, FSYNC_POLICIES, ResultStore
+from .store import (
+    DEFAULT_CACHE_DIR,
+    FSYNC_POLICIES,
+    STORE_BACKENDS,
+    ResultStoreBase,
+    export_jsonl,
+    import_jsonl,
+    open_store,
+)
 from .writeup import run_trials, write_markdown
 
 #: Exit status when one or more scenarios exhausted retries *and* the
@@ -75,6 +91,67 @@ def build_parser() -> argparse.ArgumentParser:
     md_p.add_argument(
         "--no-ixp", action="store_true", help="skip the Appendix J reruns"
     )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the always-on evaluation service (HTTP API)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642)
+    serve_p.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES),
+        help="default scale for experiment jobs",
+    )
+    serve_p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    serve_p.add_argument(
+        "--processes", type=int, default=1, help="worker processes per context"
+    )
+    serve_p.add_argument(
+        "--attack", default=DEFAULT_ATTACK_TOKEN, type=_attack_token
+    )
+    serve_p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    serve_p.add_argument(
+        "--store-backend",
+        default="sqlite",
+        choices=STORE_BACKENDS,
+        help="result-store backend (sqlite default: it tolerates the "
+        "service and a concurrent batch CLI writing the same cache)",
+    )
+    serve_p.add_argument("--fsync", default="never", choices=FSYNC_POLICIES)
+    serve_p.add_argument(
+        "--max-contexts",
+        type=int,
+        default=4,
+        help="resident (scale, seed, ixp) contexts kept hot (LRU beyond)",
+    )
+    serve_p.add_argument(
+        "--preload",
+        action="store_true",
+        help="build the default (scale, seed) context before accepting "
+        "traffic, so the first metric request is already warm",
+    )
+
+    store_p = sub.add_parser(
+        "store", help="export/import the scenario store (JSONL interchange)"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+    exp_p = store_sub.add_parser(
+        "export", help="write every store record as canonical JSONL"
+    )
+    exp_p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    exp_p.add_argument(
+        "--store-backend", default="auto", choices=STORE_BACKENDS
+    )
+    exp_p.add_argument("--out", required=True, help="JSONL output path")
+    imp_p = store_sub.add_parser(
+        "import", help="replay JSONL records into the store (new hashes only)"
+    )
+    imp_p.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    imp_p.add_argument(
+        "--store-backend", default="auto", choices=STORE_BACKENDS
+    )
+    imp_p.add_argument("--input", required=True, help="JSONL input path")
     return parser
 
 
@@ -133,6 +210,13 @@ def _common(parser: argparse.ArgumentParser) -> None:
         "torn tail on the next open)",
     )
     parser.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=STORE_BACKENDS,
+        help="result-store backend; auto (default) reuses whatever the "
+        "cache directory already holds, JSONL for fresh directories",
+    )
+    parser.add_argument(
         "--fault-plan",
         default=None,
         metavar="JSON|@PATH",
@@ -152,11 +236,14 @@ def _attack_token(raw: str) -> str:
 
 def _make_store(
     args: argparse.Namespace, failure_log: FailureLog
-) -> ResultStore | None:
+) -> ResultStoreBase | None:
     if args.no_cache:
         return None
-    return ResultStore(
-        args.cache_dir, fsync=args.fsync, failure_log=failure_log
+    return open_store(
+        args.cache_dir,
+        backend=args.store_backend,
+        fsync=args.fsync,
+        failure_log=failure_log,
     )
 
 
@@ -194,7 +281,7 @@ def _report_failures(failure_log: FailureLog) -> int:
     return EXIT_SCENARIO_FAILURES
 
 
-def _store_summary(store: ResultStore | None) -> str:
+def _store_summary(store: ResultStoreBase | None) -> str:
     if store is None:
         return "scenario store disabled (--no-cache)"
     return (
@@ -225,9 +312,102 @@ def _install_sigterm_handler() -> None:
         pass
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: run the HTTP service until signalled.
+
+    SIGTERM/SIGINT trigger a *graceful* stop — stop accepting, drain
+    jobs, close resident contexts (terminating their pools and
+    releasing shared-memory arenas), close the store — and the exit
+    status is the conventional ``128 + signum`` so supervisors see the
+    same contract as the batch commands.
+    """
+    import asyncio
+
+    from ..service import Service, serve as _serve_app
+
+    failure_log = FailureLog()
+    store = open_store(
+        args.cache_dir,
+        backend=args.store_backend,
+        fsync=args.fsync,
+        failure_log=failure_log,
+    )
+    exit_code = 0
+
+    async def _run() -> None:
+        nonlocal exit_code
+        service = Service(
+            store,
+            processes=args.processes,
+            attack=args.attack,
+            max_contexts=args.max_contexts,
+            default_scale=args.scale,
+            default_seed=args.seed,
+            failure_log=failure_log,
+        )
+        if args.preload:
+            await service.context_for(args.scale, args.seed, False)
+        shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+
+        def _stop(signum: int) -> None:
+            nonlocal exit_code
+            exit_code = 128 + signum
+            shutdown.set()
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(sig, _stop, sig)
+
+        def _ready(server) -> None:
+            print(
+                f"repro service listening on "
+                f"http://{args.host}:{server.port} "
+                f"(store: {store.path})",
+                flush=True,
+            )
+
+        await _serve_app(
+            service,
+            host=args.host,
+            port=args.port,
+            shutdown=shutdown,
+            on_ready=_ready,
+        )
+
+    try:
+        asyncio.run(_run())
+    finally:
+        store.close()
+    if exit_code:
+        print(f"repro service stopped (signal {exit_code - 128})", flush=True)
+    return exit_code
+
+
+def _store_command(args: argparse.Namespace) -> int:
+    """``store export`` / ``store import``: the JSONL interchange."""
+    failure_log = FailureLog()
+    with open_store(
+        args.cache_dir, backend=args.store_backend, failure_log=failure_log
+    ) as store:
+        if args.store_command == "export":
+            count = export_jsonl(store, args.out)
+            print(f"exported {count} record(s) from {store.path} to {args.out}")
+        else:
+            count = import_jsonl(store, args.input)
+            print(
+                f"imported {count} new record(s) from {args.input} "
+                f"into {store.path}"
+            )
+    return _report_failures(failure_log)
+
+
 def main(argv: list[str] | None = None) -> int:
     _install_sigterm_handler()
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "store":
+        return _store_command(args)
     if args.command == "list":
         print(f"{'id':14s} {'paper ref':28s} {'ixp rerun':9s} title")
         for eid, spec in all_experiments().items():

@@ -925,7 +925,13 @@ def make_context(
         ixp=ixp,
         topo=topo,
         graph_ctx=RoutingContext(
-            graph, vectorized=vectorized, shared=shared_memory
+            graph,
+            vectorized=vectorized,
+            shared=shared_memory,
+            # The frozen CSR is deterministic in these inputs, so
+            # sibling contexts for the same topology (a service keeping
+            # several resident) share one physical segment.
+            shared_key=("ctx", scale_obj.name, scale_obj.n, seed, ixp),
         ),
         tiers=tiers,
         catalog=ScenarioCatalog(graph, tiers),

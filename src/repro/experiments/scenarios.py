@@ -207,6 +207,52 @@ class EvalRequest:
             "attack": self.attack,
         }
 
+    @classmethod
+    def from_canonical(cls, payload: dict) -> "EvalRequest":
+        """Rebuild a request from its :meth:`canonical` dict.
+
+        The inverse of :meth:`canonical`, used wherever requests cross a
+        serialization boundary — store records and the HTTP service's
+        request bodies.  Inputs are re-canonicalized (pairs deduped and
+        destination-grouped, deployments sorted), so a hand-written body
+        hashes identically to the request it describes; ``format`` /
+        ``engine`` keys are optional but must match this engine's when
+        present.  Raises ``ValueError`` on malformed payloads, including
+        unknown model or attacker tokens.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request payload must be a JSON object")
+        fmt = payload.get("format", SCENARIO_FORMAT)
+        eng = payload.get("engine", ENGINE_VERSION)
+        if fmt != SCENARIO_FORMAT or eng != ENGINE_VERSION:
+            raise ValueError(
+                f"unsupported scenario format/engine {fmt}/{eng} "
+                f"(this engine speaks {SCENARIO_FORMAT}/{ENGINE_VERSION})"
+            )
+        try:
+            pairs = [(int(m), int(d)) for m, d in payload["pairs"]]
+            full = [int(a) for a in payload.get("deployment_full", ())]
+            simplex = [int(a) for a in payload.get("deployment_simplex", ())]
+            request = cls(
+                scale=str(payload["scale"]),
+                seed=int(payload["seed"]),
+                ixp=bool(payload.get("ixp", False)),
+                pairs=tuple(
+                    sorted(set(pairs), key=lambda p: (p[1], p[0]))
+                ),
+                deployment_full=tuple(sorted(set(full))),
+                deployment_simplex=tuple(sorted(set(simplex))),
+                model=model_token(model_from_token(str(payload["model"]))),
+                attack=attack_token(str(payload.get("attack", DEFAULT_ATTACK.token))),
+            )
+        except ValueError:
+            raise
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed request payload: {exc!r}") from exc
+        if not request.pairs:
+            raise ValueError("request needs at least one (monitor, dest) pair")
+        return request
+
     @functools.cached_property
     def scenario_hash(self) -> str:
         """Content address: SHA-256 over the canonical JSON (20 hex chars).

@@ -1,8 +1,25 @@
 """Persistent, content-addressed store of evaluated scenarios.
 
+Two backends implement one contract (:class:`ResultStoreBase`):
+
+* :class:`ResultStore` — the append-only JSONL file
+  (``.repro-cache/results.jsonl``), the original backend and still the
+  *export format*: one complete line per record, readable by anything.
+* :class:`SqliteResultStore` — a WAL-mode sqlite database
+  (``.repro-cache/results.sqlite``) that tolerates **concurrent
+  writers**: multiple service workers and a batch CLI can put into the
+  same cache without interleaving hazards; lock contention is absorbed
+  by sqlite's busy timeout plus a bounded retry layer.
+
+Pick one with :func:`open_store` (``backend="auto"`` reopens whatever
+the cache directory already holds) and convert between them with
+:func:`export_jsonl` / :func:`import_jsonl` (the CLI's ``store export``
+/ ``store import``): records move verbatim, so hashes and payloads are
+preserved byte-for-byte.
+
 Every evaluated :class:`~repro.experiments.scenarios.EvalRequest` is
-written as one JSONL record ``{hash, request, result}`` under the cache
-directory (``.repro-cache/results.jsonl`` by default), so
+written as one record ``{hash, request, result, crc}`` under the cache
+directory, so
 
 * a repeated ``write-md`` or CLI run reevaluates nothing (warm store),
 * an interrupted run resumes where it stopped — records are appended
@@ -52,11 +69,15 @@ or ``"close"`` (one fsync when the store closes).
 
 from __future__ import annotations
 
+import abc
 import json
 import os
+import sqlite3
+import threading
+import time
 import zlib
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from ..core.metrics import MetricResult
 from .faults import active_plan
@@ -94,7 +115,137 @@ def _record_crc(record: dict) -> str:
     return format(zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF, "08x")
 
 
-class ResultStore:
+def _build_record(request: EvalRequest, result: MetricResult) -> dict:
+    """The canonical record dict for one put, CRC trailer included."""
+    record = {
+        "hash": request.scenario_hash,
+        "request": request.canonical(),
+        "result": result_to_record(result),
+    }
+    record["crc"] = _record_crc(record)
+    return record
+
+
+class ResultStoreBase(abc.ABC):
+    """The backend contract every result store implements.
+
+    A store is a content-addressed map from scenario hash to
+    :class:`MetricResult` with these guarantees, held to by the shared
+    conformance suite in ``tests/test_store_backends.py``:
+
+    * **Durability discipline** — every record carries a CRC32 trailer
+      over its canonical payload (:func:`_record_crc`); a record that
+      was silently corrupted on disk is *detected* on read and treated
+      as absent, falling back to the newest older record for the hash.
+    * **Newest wins** — :meth:`put` for an existing hash supersedes the
+      older record without destroying it (the corruption fallback above
+      depends on the history surviving).
+    * **Cross-process staleness** — records committed by *another
+      process* (or thread) after this store was opened must become
+      visible to every read-side method (:meth:`get`,
+      :meth:`__contains__`, :meth:`hashes`, :meth:`__len__`) without
+      reopening the store.  Each read entry point calls
+      :meth:`refresh`; backends implement it however suits their medium
+      (the JSONL store rescans the appended tail from its
+      ``_indexed_size`` cursor, sqlite reads committed state on every
+      query, so its refresh is free).
+    * **Torn writes** — a writer killed mid-:meth:`put` must never
+      corrupt earlier records, and the next writer (or reopen) must
+      recover to a clean state.
+
+    ``hits``/``misses`` count scheduler lookups so runs can report
+    cache effectiveness; they are bookkeeping, not part of the record
+    state.
+    """
+
+    #: filename this backend owns inside the cache directory.
+    FILENAME: str = ""
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        fsync: str = "never",
+        failure_log: "FailureLog | None" = None,
+    ):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.root = Path(root)
+        self.path = self.root / self.FILENAME
+        self.fsync = fsync
+        self.failure_log = failure_log
+        self.hits = 0
+        self.misses = 0
+
+    # -- the contract ---------------------------------------------------
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Make records committed by other processes since the last
+        read visible.  Called by every read-side method; must be cheap
+        when nothing changed."""
+
+    @abc.abstractmethod
+    def get(self, scenario_hash: str) -> MetricResult | None:
+        """The newest uncorrupted result for a hash, or ``None``."""
+
+    @abc.abstractmethod
+    def raw_record(self, scenario_hash: str) -> dict | None:
+        """The newest uncorrupted *record dict* for a hash (the
+        ``{hash, request, result, crc}`` shape) — the export primitive."""
+
+    @abc.abstractmethod
+    def put(self, request: EvalRequest, result: MetricResult) -> str:
+        """Persist one evaluated scenario; returns its hash."""
+
+    @abc.abstractmethod
+    def put_record(self, record: dict) -> str:
+        """Insert a record dict verbatim (the import primitive).
+
+        The record's stored bytes — including its ``crc`` and any
+        foreign ``format``/``engine`` provenance inside ``request`` —
+        are preserved, so an export/import round trip is
+        byte-identical.
+        """
+
+    @abc.abstractmethod
+    def hashes(self) -> frozenset[str]:
+        """Every servable scenario hash (no result payload is decoded)."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int: ...
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release OS resources (idempotent; lazily reopened on reuse)."""
+
+    @property
+    @abc.abstractmethod
+    def closed(self) -> bool:
+        """True when no OS handles are currently open."""
+
+    # -- shared behavior ------------------------------------------------
+    def __contains__(self, scenario_hash: str) -> bool:
+        if scenario_hash not in self.hashes():
+            self.refresh()
+        return scenario_hash in self.hashes()
+
+    def records(self) -> Iterator[dict]:
+        """Newest valid record per hash, in sorted-hash order."""
+        self.refresh()
+        for scenario_hash in sorted(self.hashes()):
+            record = self.raw_record(scenario_hash)
+            if record is not None:
+                yield record
+
+    def __enter__(self) -> "ResultStoreBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ResultStore(ResultStoreBase):
     """JSONL-backed map from scenario hash to :class:`MetricResult`.
 
     The file is scanned once at construction to build the offset index;
@@ -139,22 +290,15 @@ class ResultStore:
         True
     """
 
+    FILENAME = "results.jsonl"
+
     def __init__(
         self,
         root: str | Path = DEFAULT_CACHE_DIR,
         fsync: str = "never",
         failure_log: "FailureLog | None" = None,
     ):
-        if fsync not in FSYNC_POLICIES:
-            raise ValueError(
-                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
-            )
-        self.root = Path(root)
-        self.path = self.root / "results.jsonl"
-        self.fsync = fsync
-        self.failure_log = failure_log
-        self.hits = 0
-        self.misses = 0
+        super().__init__(root, fsync=fsync, failure_log=failure_log)
         #: hash → byte offset of its newest record line (or _IN_MEMORY).
         self._offsets: dict[str, int] = {}
         #: hash → decoded record, filled lazily by get() and by put().
@@ -163,7 +307,7 @@ class ResultStore:
         self._reader = None
         self._puts = 0
         #: Byte offset just past the last *complete* indexed line; the
-        #: starting point for tail rescans (:meth:`_refresh`).  A
+        #: starting point for tail rescans (:meth:`refresh`).  A
         #: truncated trailing line never advances it, so an in-progress
         #: write by another process is rescanned once it completes.
         self._indexed_size = 0
@@ -250,7 +394,7 @@ class ResultStore:
                 self._parsed[record["hash"]] = record
         return complete
 
-    def _refresh(self) -> None:
+    def refresh(self) -> None:
         """Index records appended by other processes since the last scan.
 
         Concurrent multi-process runs share one JSONL file via atomic
@@ -324,22 +468,34 @@ class ResultStore:
     # -- mapping views --------------------------------------------------
     def __contains__(self, scenario_hash: str) -> bool:
         if scenario_hash not in self._offsets:
-            self._refresh()
+            self.refresh()
         return scenario_hash in self._offsets
 
     def __len__(self) -> int:
+        self.refresh()
         return len(self._offsets)
 
     def hashes(self) -> frozenset[str]:
         """Every stored scenario hash (no record is decoded)."""
+        self.refresh()
         return frozenset(self._offsets)
 
     def get(self, scenario_hash: str) -> MetricResult | None:
+        record = self._raw_record(scenario_hash)
+        if record is None:
+            return None
+        return result_from_record(record["result"])
+
+    def raw_record(self, scenario_hash: str) -> dict | None:
+        """The newest decodable record dict for a hash (CRC-checked)."""
+        return self._raw_record(scenario_hash)
+
+    def _raw_record(self, scenario_hash: str) -> dict | None:
         record = self._parsed.get(scenario_hash)
         if record is None:
             offset = self._offsets.get(scenario_hash)
             if offset is None:
-                self._refresh()
+                self.refresh()
                 offset = self._offsets.get(scenario_hash)
             if offset is None or offset == _IN_MEMORY:
                 return None
@@ -361,7 +517,7 @@ class ResultStore:
                     self._offsets.pop(scenario_hash, None)
                     return None
             self._parsed[scenario_hash] = record
-        return result_from_record(record["result"])
+        return record
 
     # -- writes ---------------------------------------------------------
     def put(self, request: EvalRequest, result: MetricResult) -> str:
@@ -372,12 +528,15 @@ class ResultStore:
         — still one line of plain JSON, so foreign readers are
         unaffected, but bit-rot is detectable on read.
         """
-        scenario_hash = request.scenario_hash
-        record = {
-            "hash": scenario_hash,
-            "request": request.canonical(),
-            "result": result_to_record(result),
-        }
+        record = _build_record(request, result)
+        return self._write_record(record, faultable=True)
+
+    def put_record(self, record: dict) -> str:
+        """Append a record dict verbatim (the import primitive)."""
+        return self._write_record(dict(record), faultable=False)
+
+    def _write_record(self, record: dict, faultable: bool) -> str:
+        scenario_hash = record["hash"]
         handle = self._handle
         if handle is None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -386,15 +545,15 @@ class ResultStore:
             handle = self._handle = open(self.path, "ab", buffering=0)
         if self._repair_pending:
             self._repair_tail(handle)
-        record["crc"] = _record_crc(record)
         line = (
             json.dumps(record, separators=(",", ":")) + "\n"
         ).encode("utf-8")
         fault = None
-        plan = active_plan()
-        if plan is not None:
-            fault = plan.torn_write(self._puts)
-        self._puts += 1
+        if faultable:
+            plan = active_plan()
+            if plan is not None:
+                fault = plan.torn_write(self._puts)
+            self._puts += 1
         if fault is not None:
             # Injected crash mid-write: append only a prefix of the
             # line and leave the record unindexed, exactly the state a
@@ -414,8 +573,14 @@ class ResultStore:
         handle.write(line)
         if self.fsync == "always":
             os.fsync(handle.fileno())
-        self._parsed[scenario_hash] = record
-        self._offsets[scenario_hash] = _IN_MEMORY
+        # Memoize only servable records: an imported record whose CRC
+        # trailer does not verify (put_record is verbatim) must be
+        # *detected on read* like any other corruption — the next
+        # refresh() indexes its line and get() runs the fallback —
+        # instead of being served straight from the write-side memo.
+        if faultable or self._decode(line) is not None:
+            self._parsed[scenario_hash] = record
+            self._offsets[scenario_hash] = _IN_MEMORY
         return scenario_hash
 
     def _repair_tail(self, handle) -> None:
@@ -433,7 +598,7 @@ class ResultStore:
             reader.seek(self._repair_to)
             tail = reader.read(size - self._repair_to)
         if b"\n" in tail:
-            self._refresh()
+            self.refresh()
             return
         os.ftruncate(handle.fileno(), self._repair_to)
         if self.failure_log is not None:
@@ -463,8 +628,350 @@ class ResultStore:
             self._reader.close()
             self._reader = None
 
-    def __enter__(self) -> "ResultStore":
-        return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+class SqliteResultStore(ResultStoreBase):
+    """Sqlite-backed result store for **concurrent writers**.
+
+    The JSONL store's atomic ``O_APPEND`` lines already tolerate
+    concurrent appends, but its torn-tail repair (``ftruncate``) and
+    offset index assume a single repairer; an always-on service with
+    several workers plus a batch CLI writing the same cache needs real
+    transactional isolation.  This backend keeps the exact record
+    discipline of the JSONL store — the same ``{hash, request, result,
+    crc}`` dicts, CRC32-verified on read, newest-wins with corruption
+    fallback to older records — inside a WAL-mode sqlite database:
+
+    * **WAL journal** — readers never block writers and vice versa;
+      a reader always sees a consistent committed snapshot, so a
+      concurrent writer can never expose a half-written record (the
+      sqlite analogue of the torn-tail problem disappears).
+    * **Busy-timeout + bounded retry** — writer-writer contention waits
+      in sqlite's busy handler (:data:`SQLITE_BUSY_TIMEOUT_MS`); if the
+      timeout still trips under extreme contention the operation is
+      retried with backoff up to :data:`SQLITE_MAX_RETRIES` times, each
+      retry recorded as a ``store_busy_retry`` incident.  ``database is
+      locked`` never escapes to callers until the retries are exhausted.
+    * **History preserved** — every put inserts a new row (monotonic
+      rowid), so newest-wins reads fall back to older rows when the
+      newest fails its CRC, exactly like the JSONL index does.
+
+    ``fsync`` maps onto ``PRAGMA synchronous``: ``never`` → ``OFF``
+    (page-cache durability, the recomputable-cache default), ``close``
+    → ``NORMAL``, ``always`` → ``FULL``.
+
+    Thread safety: one connection guarded by a lock, so a service can
+    read and write from executor threads; separate *processes* each
+    open their own connection and coordinate through sqlite itself.
+    """
+
+    FILENAME = "results.sqlite"
+
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        fsync: str = "never",
+        failure_log: "FailureLog | None" = None,
+    ):
+        super().__init__(root, fsync=fsync, failure_log=failure_log)
+        self._conn: sqlite3.Connection | None = None
+        self._lock = threading.Lock()
+        self._parsed: dict[str, dict] = {}
+        #: hashes whose every stored row failed to decode — excluded
+        #: from :meth:`hashes`/:meth:`__len__` exactly as the JSONL
+        #: backend drops an unservable hash from its offset index, and
+        #: re-verified on access in case another writer re-put a valid
+        #: record since.
+        self._dead: set[str] = set()
+        self._puts = 0
+        # Touch the database eagerly so opening a store surfaces an
+        # unwritable cache directory immediately, like the JSONL scan.
+        self._connect()
+
+    # -- connection management ------------------------------------------
+    def _connect(self) -> sqlite3.Connection:
+        conn = self._conn
+        if conn is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.path,
+                timeout=SQLITE_BUSY_TIMEOUT_MS / 1000.0,
+                check_same_thread=False,
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute(f"PRAGMA busy_timeout={SQLITE_BUSY_TIMEOUT_MS}")
+            conn.execute(
+                "PRAGMA synchronous="
+                + {"never": "OFF", "close": "NORMAL", "always": "FULL"}[
+                    self.fsync
+                ]
+            )
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS results ("
+                " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " hash TEXT NOT NULL,"
+                " record TEXT NOT NULL)"
+            )
+            conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_results_hash"
+                " ON results(hash)"
+            )
+            conn.commit()
+            self._conn = conn
+        return conn
+
+    def _execute(self, sql: str, params: tuple = (), commit: bool = False):
+        """One statement under the lock, with bounded busy retries."""
+        for attempt in range(SQLITE_MAX_RETRIES + 1):
+            try:
+                with self._lock:
+                    conn = self._connect()
+                    cursor = conn.execute(sql, params)
+                    rows = cursor.fetchall()
+                    if commit:
+                        conn.commit()
+                    return rows
+            except sqlite3.OperationalError as exc:
+                if "locked" not in str(exc) and "busy" not in str(exc):
+                    raise
+                if attempt >= SQLITE_MAX_RETRIES:
+                    raise
+                if self.failure_log is not None:
+                    self.failure_log.record(
+                        "store_busy_retry",
+                        detail=(
+                            f"sqlite busy past the {SQLITE_BUSY_TIMEOUT_MS}ms"
+                            f" timeout (attempt {attempt + 1}); retrying"
+                        ),
+                    )
+                time.sleep(0.05 * (2**attempt))
+
+    # -- the contract ---------------------------------------------------
+    def refresh(self) -> None:
+        """No-op: every query reads the current committed snapshot, so
+        other writers' records are visible the moment they commit."""
+
+    def get(self, scenario_hash: str) -> MetricResult | None:
+        record = self.raw_record(scenario_hash)
+        if record is None:
+            return None
+        return result_from_record(record["result"])
+
+    def raw_record(self, scenario_hash: str) -> dict | None:
+        record = self._parsed.get(scenario_hash)
+        if record is not None:
+            return record
+        rows = self._execute(
+            "SELECT record FROM results WHERE hash = ? ORDER BY id DESC",
+            (scenario_hash,),
+        )
+        for (blob,) in rows:
+            record = self._decode(blob)
+            if record is not None and record.get("hash") == scenario_hash:
+                # Newest row first; a CRC-corrupt newest row falls
+                # through to the older rows it superseded, matching the
+                # JSONL backend's _rescan_before fallback.
+                self._parsed[scenario_hash] = record
+                self._dead.discard(scenario_hash)
+                return record
+        if rows:
+            # Rows exist but none decodes: the hash is unservable, so
+            # drop it from hashes()/len() — the JSONL backend pops the
+            # offset index in exactly this situation.
+            self._dead.add(scenario_hash)
+        return None
+
+    @staticmethod
+    def _decode(blob: str) -> dict | None:
+        try:
+            record = json.loads(blob)
+        except (json.JSONDecodeError, TypeError):
+            return None
+        if not (
+            isinstance(record, dict) and "hash" in record and "result" in record
+        ):
+            return None
+        crc = record.get("crc")
+        if crc is not None and crc != _record_crc(record):
+            return None
+        return record
+
+    def put(self, request: EvalRequest, result: MetricResult) -> str:
+        record = _build_record(request, result)
+        scenario_hash = record["hash"]
+        fault = None
+        plan = active_plan()
+        if plan is not None:
+            fault = plan.torn_write(self._puts)
+        self._puts += 1
+        if fault is not None:
+            # Injected crash mid-put: under sqlite the never-committed
+            # transaction simply vanishes — the record is absent (the
+            # caller believes it wrote, exactly like the JSONL torn
+            # line), but no repair is needed: WAL isolation means no
+            # other reader ever saw partial bytes.
+            if self.failure_log is not None:
+                self.failure_log.record(
+                    "store_torn_write",
+                    detail=f"injected torn write of {scenario_hash}",
+                    scenario=scenario_hash,
+                )
+            return scenario_hash
+        self._insert(record)
+        self._parsed[scenario_hash] = record
+        # A valid record supersedes any earlier corrupt-only diagnosis.
+        self._dead.discard(scenario_hash)
+        return scenario_hash
+
+    def put_record(self, record: dict) -> str:
+        """Insert a record dict verbatim (the import primitive)."""
+        record = dict(record)
+        self._insert(record)
+        # Not memoized: imported bytes are verified on first read, so a
+        # CRC-corrupt import is detected exactly like disk corruption.
+        self._dead.discard(record["hash"])
+        return record["hash"]
+
+    def _insert(self, record: dict) -> None:
+        self._execute(
+            "INSERT INTO results (hash, record) VALUES (?, ?)",
+            (
+                record["hash"],
+                json.dumps(record, separators=(",", ":")),
+            ),
+            commit=True,
+        )
+
+    def __contains__(self, scenario_hash: str) -> bool:
+        if scenario_hash in self._parsed:
+            return True
+        if scenario_hash in self._dead:
+            # Re-verify: another writer may have re-put a valid record.
+            return self.raw_record(scenario_hash) is not None
+        rows = self._execute(
+            "SELECT 1 FROM results WHERE hash = ? LIMIT 1", (scenario_hash,)
+        )
+        return bool(rows)
+
+    def hashes(self) -> frozenset[str]:
+        rows = self._execute("SELECT DISTINCT hash FROM results")
+        present = {h for (h,) in rows}
+        for scenario_hash in list(self._dead & present):
+            # Cheap only when dead hashes exist at all (they almost
+            # never do): re-verify in case a valid record arrived.
+            self.raw_record(scenario_hash)
+        return frozenset(present - self._dead)
+
+    def __len__(self) -> int:
+        return len(self.hashes())
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._conn is None
+
+    def close(self) -> None:
+        with self._lock:
+            conn = self._conn
+            if conn is None:
+                return
+            if self.fsync in ("always", "close"):
+                try:
+                    conn.execute("PRAGMA wal_checkpoint(FULL)")
+                except sqlite3.OperationalError:  # pragma: no cover - busy
+                    pass
+            conn.close()
+            self._conn = None
+
+
+#: sqlite busy-handler timeout: how long one statement waits for a
+#: competing writer before the retry layer takes over.
+SQLITE_BUSY_TIMEOUT_MS = 5_000
+
+#: bounded retries (with exponential backoff) after the busy timeout;
+#: only when these are exhausted does ``database is locked`` surface.
+SQLITE_MAX_RETRIES = 5
+
+#: backend tokens accepted by :func:`open_store` and the CLI.
+STORE_BACKENDS = ("auto", "jsonl", "sqlite")
+
+
+def open_store(
+    root: str | Path = DEFAULT_CACHE_DIR,
+    backend: str = "auto",
+    fsync: str = "never",
+    failure_log: "FailureLog | None" = None,
+) -> ResultStoreBase:
+    """Open a result store, picking the backend for a cache directory.
+
+    ``backend="auto"`` reopens whatever the directory already holds —
+    sqlite wins if both exist (it is the concurrent-writer-safe one) —
+    and defaults to JSONL for a fresh directory, preserving the
+    historical CLI behavior.  ``"jsonl"``/``"sqlite"`` force a backend
+    (creating it if absent).
+    """
+    if backend not in STORE_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {STORE_BACKENDS}, got {backend!r}"
+        )
+    root = Path(root)
+    if backend == "auto":
+        if (root / SqliteResultStore.FILENAME).exists():
+            backend = "sqlite"
+        else:
+            backend = "jsonl"
+    cls = SqliteResultStore if backend == "sqlite" else ResultStore
+    return cls(root, fsync=fsync, failure_log=failure_log)
+
+
+def export_jsonl(store: ResultStoreBase, path: str | Path) -> int:
+    """Write every stored record to a JSONL file; returns the count.
+
+    The output is a valid :class:`ResultStore` file (one compact record
+    per line, CRC trailers preserved verbatim), so exporting a sqlite
+    cache into ``<dir>/results.jsonl`` *is* the JSONL store of the same
+    scenarios — hashes and payloads byte-identical.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in store.records():
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def import_jsonl(
+    store: ResultStoreBase, path: str | Path, records: Iterable[dict] | None = None
+) -> int:
+    """Replay a JSONL record file into a store; returns records imported.
+
+    Records are inserted verbatim (:meth:`ResultStoreBase.put_record`),
+    preserving their CRC trailers and any foreign provenance, so an
+    export → import round trip reproduces every record byte-for-byte.
+    Undecodable or CRC-corrupt lines are skipped (and recorded in the
+    store's failure log, if any); records whose hash the store already
+    serves are skipped as duplicates.
+    """
+    if records is None:
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines()
+        records = []
+        for line in lines:
+            record = ResultStore._decode(line + b"\n")
+            if record is None:
+                if store.failure_log is not None:
+                    store.failure_log.record(
+                        "store_import_skipped",
+                        detail=f"undecodable or corrupt line in {path}",
+                    )
+                continue
+            records.append(record)
+    existing = store.hashes()
+    count = 0
+    for record in records:
+        if record["hash"] in existing:
+            continue
+        store.put_record(record)
+        count += 1
+    return count

@@ -1,0 +1,27 @@
+"""Always-on evaluation service (ROADMAP item 2).
+
+``repro serve`` turns the batch CLI into a warm metric-serving HTTP
+API: resident :class:`~repro.experiments.runner.ExperimentContext`\\ s
+per (scale, seed, ixp), a read-through content-addressed result cache
+(sqlite by default, safe under concurrent writers), single-flight
+dedupe of concurrent identical scenarios, and chunked NDJSON streaming
+of rollout-chain progress.  Pure stdlib — :mod:`repro.service.http` is
+the whole web layer.
+"""
+
+from .app import Service, create_server, serve
+from .http import HTTPError, HTTPServer, Request, Response, Router
+from .jobs import Job, JobManager
+
+__all__ = [
+    "Service",
+    "create_server",
+    "serve",
+    "HTTPError",
+    "HTTPServer",
+    "Request",
+    "Response",
+    "Router",
+    "Job",
+    "JobManager",
+]

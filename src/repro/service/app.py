@@ -1,0 +1,420 @@
+"""The evaluation service: warm contexts, read-through cache, streaming.
+
+One :class:`Service` owns
+
+* a :class:`~repro.experiments.store.ResultStoreBase` (sqlite by
+  default under ``repro serve`` — it tolerates a concurrent batch CLI
+  writing the same cache),
+* a small LRU of resident :class:`~repro.experiments.runner.
+  ExperimentContext`\\ s keyed by (scale, seed, ixp) — the expensive
+  part of a cold metric is topology construction and pool warm-up, so
+  the service keeps them hot the way ``RolloutSweep`` keeps chain state
+  hot,
+* a single-flight map: concurrent requests for the same scenario hash
+  share one pool evaluation, and
+* the shared :class:`~repro.experiments.failures.FailureLog` every
+  layer (store, pool, arenas, jobs) records incidents to.
+
+The request journey for ``POST /v1/metrics``: parse canonical requests
+→ hash → store hit answers immediately → misses coalesce through the
+single-flight map → chains evaluate on the resident context's
+``SupervisedPool`` → results persist to the store and stream back
+per step (chunked NDJSON when ``"stream": true``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from ..core.shm import arena_stats
+from ..experiments.config import DEFAULT_SEED
+from ..experiments.failures import FailureLog
+from ..experiments.registry import all_experiments
+from ..experiments.runner import evaluate_requests, make_context
+from ..experiments.scenarios import EvalRequest, detect_chains
+from ..experiments.store import ResultStoreBase
+from .http import HTTPError, HTTPServer, Request, Response, Router
+from .jobs import JobManager
+from .schemas import (
+    experiment_payload,
+    parse_metrics_body,
+    result_event,
+    scenario_payload,
+)
+
+#: Default cap on resident contexts; the LRU evicts (and closes) beyond
+#: it, skipping contexts mid-evaluation.
+DEFAULT_MAX_CONTEXTS = 4
+
+
+class Service:
+    """Application state + handlers; wire to HTTP with :meth:`router`."""
+
+    def __init__(
+        self,
+        store: ResultStoreBase,
+        *,
+        processes: int = 1,
+        attack: str | None = None,
+        max_contexts: int = DEFAULT_MAX_CONTEXTS,
+        shared_memory: bool | None = None,
+        vectorized: bool | None = None,
+        default_scale: str = "small",
+        default_seed: int = DEFAULT_SEED,
+        failure_log: FailureLog | None = None,
+    ):
+        if max_contexts < 1:
+            raise ValueError("max_contexts must be >= 1")
+        self.store = store
+        self.processes = processes
+        self.attack = attack
+        self.max_contexts = max_contexts
+        self.shared_memory = shared_memory
+        self.vectorized = vectorized
+        self.default_scale = default_scale
+        self.default_seed = default_seed
+        self.failure_log = failure_log or store.failure_log or FailureLog()
+        if store.failure_log is None:
+            store.failure_log = self.failure_log
+        #: resident contexts, insertion order = LRU order (oldest first).
+        self._contexts: dict[tuple, object] = {}
+        #: per-key lock serializing context creation and pool access.
+        self._locks: dict[tuple, asyncio.Lock] = {}
+        #: single-flight map: scenario hash → future of MetricResult|None.
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: evaluation threads — per-key locks serialize same-context
+        #: work, so width only matters across distinct topologies.
+        self.executor = ThreadPoolExecutor(
+            max_workers=max(2, max_contexts),
+            thread_name_prefix="repro-service",
+        )
+        self.jobs = JobManager(self)
+        self.started_at = time.time()
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evaluations = 0
+        self._closed = False
+
+    # -- resident contexts --------------------------------------------
+    def _lock_for(self, key: tuple) -> asyncio.Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = asyncio.Lock()
+        return lock
+
+    async def context_for(self, scale: str, seed: int, ixp: bool):
+        """The resident (context, lock) for a topology, building on miss.
+
+        Holds the key's lock during construction so concurrent requests
+        for the same topology build it once; marks the key
+        most-recently-used and evicts the coldest unlocked context when
+        over :attr:`max_contexts`.
+        """
+        if self._closed:
+            raise HTTPError(503, "service is shutting down")
+        key = (scale, seed, bool(ixp))
+        lock = self._lock_for(key)
+        ectx = self._contexts.pop(key, None)
+        if ectx is None:
+            async with lock:
+                ectx = self._contexts.pop(key, None)
+                if ectx is None:
+                    kwargs = dict(
+                        scale=scale,
+                        seed=seed,
+                        ixp=ixp,
+                        processes=self.processes,
+                        vectorized=self.vectorized,
+                        shared_memory=self.shared_memory,
+                        failure_log=self.failure_log,
+                    )
+                    if self.attack is not None:
+                        kwargs["attack"] = self.attack
+                    ectx = await asyncio.get_running_loop().run_in_executor(
+                        self.executor, lambda: make_context(**kwargs)
+                    )
+        self._contexts[key] = ectx  # (re)insert at MRU position
+        await self._evict()
+        return ectx, lock
+
+    async def _evict(self) -> None:
+        """Close least-recently-used contexts beyond the cap (skipping
+        any whose pool is mid-evaluation)."""
+        evictable = [
+            key
+            for key in self._contexts
+            if not self._lock_for(key).locked()
+        ]
+        excess = len(self._contexts) - self.max_contexts
+        for key in evictable[:max(0, excess)]:
+            ectx = self._contexts.pop(key)
+            await asyncio.get_running_loop().run_in_executor(
+                self.executor, ectx.close
+            )
+
+    # -- the evaluation path ------------------------------------------
+    async def resolve(self, requests: list[EvalRequest]):
+        """Async-iterate per-scenario events for a batch (see module docs).
+
+        Yields a ``plan`` event, then one ``result`` event per unique
+        scenario — cached ones immediately, then chain-by-chain as the
+        pool finishes, then coalesced waits on evaluations other
+        requests own — and finally a ``done`` event.  Both the batch
+        and streaming endpoints consume this; streaming writes each
+        event as its own chunk.
+        """
+        unique: dict[str, EvalRequest] = {}
+        for request in requests:
+            unique.setdefault(request.scenario_hash, request)
+        cached: dict[str, object] = {}
+        waiting: dict[str, asyncio.Future] = {}
+        owned: dict[str, asyncio.Future] = {}
+        misses: list[EvalRequest] = []
+        loop = asyncio.get_running_loop()
+        for scenario_hash, request in unique.items():
+            hit = self.store.get(scenario_hash)
+            if hit is not None:
+                self.hits += 1
+                cached[scenario_hash] = hit
+            elif scenario_hash in self._inflight:
+                self.coalesced += 1
+                waiting[scenario_hash] = self._inflight[scenario_hash]
+            else:
+                self.misses += 1
+                future = loop.create_future()
+                self._inflight[scenario_hash] = future
+                owned[scenario_hash] = future
+                misses.append(request)
+        chains = detect_chains(misses)
+        yield {
+            "event": "plan",
+            "scenarios": len(unique),
+            "cached": len(cached),
+            "coalesced": len(waiting),
+            "chains": len(chains),
+        }
+        for scenario_hash, result in cached.items():
+            yield result_event(
+                unique[scenario_hash], result, step=0, steps=1, cached=True
+            )
+        try:
+            for chain in chains:
+                first = chain[0]
+                ectx, lock = await self.context_for(
+                    first.scale, first.seed, first.ixp
+                )
+                async with lock:
+                    results = await loop.run_in_executor(
+                        self.executor,
+                        evaluate_requests,
+                        ectx,
+                        chain,
+                        self.store,
+                    )
+                self.evaluations += len(chain)
+                for step, request in enumerate(chain):
+                    result = (
+                        results.for_request(request)
+                        if request in results
+                        else None  # scenario lost despite degradation
+                    )
+                    future = owned[request.scenario_hash]
+                    if not future.done():
+                        future.set_result(result)
+                    yield result_event(
+                        request,
+                        result,
+                        step=step,
+                        steps=len(chain),
+                        cached=False,
+                    )
+        finally:
+            # Any future not resolved above (evaluation raised) must
+            # still release its single-flight slot and wake waiters.
+            for scenario_hash, future in owned.items():
+                if not future.done():
+                    future.set_result(None)
+                self._inflight.pop(scenario_hash, None)
+        for scenario_hash, future in waiting.items():
+            result = await future
+            yield result_event(
+                unique[scenario_hash],
+                result,
+                step=0,
+                steps=1,
+                cached=False,
+                coalesced=True,
+            )
+        yield {"event": "done", "scenarios": len(unique)}
+
+    # -- handlers ------------------------------------------------------
+    async def handle_metrics(self, request: Request):
+        requests, stream = parse_metrics_body(request.json())
+        if stream:
+            return self.resolve(requests)
+        events = [event async for event in self.resolve(requests)]
+        results = {
+            event["hash"]: event
+            for event in events
+            if event.get("event") == "result"
+        }
+        failed = sum(1 for event in results.values() if not event["ok"])
+        return Response(
+            {
+                "results": [results[r.scenario_hash] for r in requests],
+                "failed": failed,
+            }
+        )
+
+    async def handle_scenario(self, request: Request) -> Response:
+        record = self.store.raw_record(request.params["hash"])
+        if record is None:
+            raise HTTPError(
+                404, f"no result for scenario {request.params['hash']!r}"
+            )
+        return Response(scenario_payload(record))
+
+    async def handle_experiments(self, request: Request) -> Response:
+        return Response(
+            {
+                "experiments": [
+                    experiment_payload(spec)
+                    for spec in all_experiments().values()
+                ],
+                "jobs": [job.payload() for job in self.jobs.all()],
+            }
+        )
+
+    async def handle_run(self, request: Request) -> Response:
+        body = request.json()
+        if not isinstance(body, dict):
+            raise HTTPError(400, "body must be a JSON object")
+        job = self.jobs.submit(
+            request.params["id"],
+            scale=str(body.get("scale", self.default_scale)),
+            seed=int(body.get("seed", self.default_seed)),
+            ixp=bool(body.get("ixp", False)),
+        )
+        return Response(job.payload(), status=202)
+
+    async def handle_job(self, request: Request) -> Response:
+        job = self.jobs.get(request.params["id"])
+        return Response(job.payload(full=True))
+
+    async def handle_healthz(self, request: Request) -> Response:
+        return Response(
+            {
+                "status": "ok",
+                "uptime_s": round(time.time() - self.started_at, 3),
+            }
+        )
+
+    async def handle_stats(self, request: Request) -> Response:
+        lookups = self.hits + self.misses + self.coalesced
+        incidents: dict[str, int] = {}
+        for incident in self.failure_log:
+            incidents[incident.kind] = incidents.get(incident.kind, 0) + 1
+        return Response(
+            {
+                "cache": {
+                    "hits": self.hits,
+                    "misses": self.misses,
+                    "coalesced": self.coalesced,
+                    "hit_rate": (
+                        round(self.hits / lookups, 4) if lookups else None
+                    ),
+                },
+                "store": {
+                    "backend": type(self.store).__name__,
+                    "records": len(self.store),
+                },
+                "contexts": {
+                    "resident": [
+                        {"scale": scale, "seed": seed, "ixp": ixp}
+                        for scale, seed, ixp in self._contexts
+                    ],
+                    "max": self.max_contexts,
+                },
+                "evaluations": self.evaluations,
+                "inflight": len(self._inflight),
+                "jobs": {
+                    "total": len(self.jobs.all()),
+                    "running": sum(
+                        1
+                        for job in self.jobs.all()
+                        if job.state in ("pending", "running")
+                    ),
+                },
+                "incidents": {
+                    "total": len(self.failure_log),
+                    "by_kind": incidents,
+                },
+                "arenas": arena_stats(),
+            }
+        )
+
+    # -- wiring --------------------------------------------------------
+    def router(self) -> Router:
+        router = Router()
+        router.add("POST", "/v1/metrics", self.handle_metrics)
+        router.add("GET", "/v1/scenarios/{hash}", self.handle_scenario)
+        router.add("GET", "/v1/experiments", self.handle_experiments)
+        router.add("POST", "/v1/experiments/{id}/run", self.handle_run)
+        router.add("GET", "/v1/jobs/{id}", self.handle_job)
+        router.add("GET", "/v1/healthz", self.handle_healthz)
+        router.add("GET", "/v1/stats", self.handle_stats)
+        return router
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: drain jobs, close contexts (terminating
+        their pools and releasing arenas), release the executor.
+
+        The store stays open — the caller that opened it closes it.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        await self.jobs.drain()
+        loop = asyncio.get_running_loop()
+        while self._contexts:
+            _key, ectx = self._contexts.popitem()
+            await loop.run_in_executor(self.executor, ectx.close)
+        self.executor.shutdown(wait=True)
+
+
+def create_server(
+    service: Service, host: str = "127.0.0.1", port: int = 0
+) -> HTTPServer:
+    """An (unstarted) HTTP server bound to the service's routes."""
+    return HTTPServer(service.router(), host=host, port=port)
+
+
+async def serve(
+    service: Service,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    *,
+    shutdown: asyncio.Event | None = None,
+    on_ready=None,
+) -> None:
+    """Run the service until ``shutdown`` is set (or forever).
+
+    The CLI's signal handlers set ``shutdown``; tests set it directly.
+    ``on_ready(server)`` fires after the port is bound — with port 0 the
+    server object then carries the ephemeral port actually chosen.
+    """
+    server = create_server(service, host=host, port=port)
+    await server.start()
+    if on_ready is not None:
+        on_ready(server)
+    try:
+        if shutdown is None:  # pragma: no cover - CLI always passes one
+            await asyncio.Event().wait()
+        else:
+            await shutdown.wait()
+    finally:
+        await server.stop()
+        await service.aclose()

@@ -1,0 +1,293 @@
+"""Minimal asyncio HTTP/1.1 layer for the evaluation service.
+
+The service needs exactly four things from HTTP — routed request
+dispatch, JSON bodies, keep-alive, and chunked streaming responses for
+rollout-chain progress — so this module implements just those on top of
+``asyncio.start_server`` instead of pulling in a framework (the repo's
+no-new-dependencies rule, and the surface is small enough that a
+framework would mostly add failure modes).
+
+Handlers are ``async def handler(request) -> Response`` registered on a
+:class:`Router` with ``{param}`` path captures.  A handler may instead
+return an *async iterator* of JSON-able dicts: the connection then
+switches to ``Transfer-Encoding: chunked`` and each dict is written as
+one NDJSON line in its own chunk the moment it is yielded — that is the
+whole streaming story.  :class:`HTTPError` raised anywhere in a handler
+becomes a JSON error body with the matching status.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import json
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Hard cap on request head (request line + headers) and body sizes —
+#: the service sits on localhost by default, but a cap keeps a corrupt
+#: client from ballooning server memory.
+MAX_HEAD_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Raise from a handler to answer with a status + JSON error body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request, as handed to a handler."""
+
+    method: str
+    path: str
+    params: dict[str, str] = field(default_factory=dict)
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body parsed as JSON (empty body → ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except ValueError as exc:
+            raise HTTPError(400, f"invalid JSON body: {exc}") from exc
+
+
+class Response:
+    """A buffered response; ``payload`` is JSON-encoded when given."""
+
+    def __init__(
+        self,
+        payload: object = None,
+        status: int = 200,
+        content_type: str = "application/json",
+        body: bytes | None = None,
+    ):
+        self.status = status
+        self.content_type = content_type
+        if body is not None:
+            self.body = body
+        elif payload is None:
+            self.body = b""
+        else:
+            self.body = (json.dumps(payload) + "\n").encode()
+
+
+class Router:
+    """Method + path-template dispatch (``/v1/scenarios/{hash}``)."""
+
+    def __init__(self):
+        self._routes: list[tuple[str, tuple[str, ...], object]] = []
+
+    def add(self, method: str, pattern: str, handler) -> None:
+        parts = tuple(p for p in pattern.strip("/").split("/") if p)
+        self._routes.append((method.upper(), parts, handler))
+
+    def match(self, method: str, path: str):
+        """The (handler, params) for a request, or raise 404/405."""
+        parts = tuple(unquote(p) for p in path.strip("/").split("/") if p)
+        path_matched = False
+        for route_method, pattern, handler in self._routes:
+            params = _match_parts(pattern, parts)
+            if params is None:
+                continue
+            path_matched = True
+            if route_method == method.upper():
+                return handler, params
+        if path_matched:
+            raise HTTPError(405, f"method {method} not allowed for {path}")
+        raise HTTPError(404, f"no route for {path}")
+
+
+def _match_parts(
+    pattern: tuple[str, ...], parts: tuple[str, ...]
+) -> dict[str, str] | None:
+    if len(pattern) != len(parts):
+        return None
+    params: dict[str, str] = {}
+    for want, got in zip(pattern, parts):
+        if want.startswith("{") and want.endswith("}"):
+            params[want[1:-1]] = got
+        elif want != got:
+            return None
+    return params
+
+
+class HTTPServer:
+    """The asyncio server loop: accept, parse, dispatch, keep-alive."""
+
+    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0):
+        self.router = router
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` becomes the real port
+        (useful when constructed with port 0 for tests)."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, limit=MAX_HEAD_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and close listening sockets (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except HTTPError as exc:
+                    # Parse failure: the framing is unreliable now, so
+                    # answer and drop the connection.
+                    await self._write_response(
+                        Response({"error": exc.message}, status=exc.status),
+                        writer,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = (
+                    request.headers.get("connection", "").lower() != "close"
+                )
+                await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError,
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away or overflowed the head limit
+        finally:
+            # No await on wait_closed(): the transport tears down
+            # asynchronously, and blocking here would leave one task
+            # parked per idle keep-alive connection at shutdown.
+            writer.close()
+
+    async def _read_request(self, reader) -> Request | None:
+        """Parse one request off the wire; None on clean EOF."""
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise
+        try:
+            method, target, _version = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            raise HTTPError(400, "malformed request line") from None
+        headers: dict[str, str] = {}
+        head_size = len(line)
+        while True:
+            line = await reader.readuntil(b"\r\n")
+            head_size += len(line)
+            if head_size > MAX_HEAD_BYTES:
+                raise HTTPError(413, "request head too large")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise HTTPError(400, "bad Content-Length") from None
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, "request body too large")
+        body = await reader.readexactly(length) if length else b""
+        url = urlsplit(target)
+        return Request(
+            method=method.upper(),
+            path=url.path,
+            query=dict(parse_qsl(url.query)),
+            headers=headers,
+            body=body,
+        )
+
+    async def _dispatch(self, request: Request, writer) -> None:
+        try:
+            handler, request.params = self.router.match(
+                request.method, request.path
+            )
+            result = handler(request)
+            if inspect.isawaitable(result):
+                result = await result
+        except HTTPError as exc:
+            result = Response({"error": exc.message}, status=exc.status)
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            result = Response(
+                {"error": f"{type(exc).__name__}: {exc}"}, status=500
+            )
+        if isinstance(result, Response):
+            await self._write_response(result, writer)
+        else:
+            await self._write_stream(result, writer)
+
+    async def _write_response(self, response: Response, writer) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode() + response.body)
+        await writer.drain()
+
+    async def _write_stream(self, events, writer) -> None:
+        """Write an async iterator of dicts as chunked NDJSON.
+
+        Each event is flushed in its own chunk immediately, so clients
+        observe rollout progress as it happens rather than at the end.
+        A handler error mid-stream becomes a final ``error`` event — the
+        status line is long gone by then.
+        """
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Transfer-Encoding: chunked\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+        try:
+            async for event in events:
+                await self._write_chunk(writer, event)
+        except HTTPError as exc:
+            await self._write_chunk(writer, {"error": exc.message})
+        except Exception as exc:  # noqa: BLE001 - boundary, mid-stream
+            await self._write_chunk(
+                writer, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    @staticmethod
+    async def _write_chunk(writer, event: dict) -> None:
+        line = (json.dumps(event) + "\n").encode()
+        writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        await writer.drain()

@@ -1,0 +1,147 @@
+"""Job semantics for experiment runs over HTTP.
+
+``POST /v1/experiments/{id}/run`` cannot block the connection for a
+whole figure reproduction, so runs are *jobs*: submitted 202, executed
+on the service's resident context for the requested topology, and
+polled via ``GET /v1/jobs/{id}``.  Each job snapshots the
+:class:`~repro.experiments.failures.FailureLog` length around its run,
+so the incidents *this* run produced — worker crashes the supervised
+pool absorbed, scenarios lost past retry — surface on the job itself
+rather than hiding in a server log.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..experiments.registry import ExperimentResult, get_experiment
+from ..experiments.runner import run_experiment
+from .http import HTTPError
+
+#: Allowed job states, in lifecycle order.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted experiment run."""
+
+    id: str
+    experiment_id: str
+    scale: str
+    seed: int
+    ixp: bool
+    state: str = "pending"
+    error: str = ""
+    #: incidents recorded in the shared FailureLog while this job ran.
+    incidents: list[str] = field(default_factory=list)
+    result: ExperimentResult | None = None
+    submitted_at: float = field(default_factory=time.time)
+    finished_at: float | None = None
+
+    def payload(self, *, full: bool = False) -> dict:
+        """The JSON shape; ``full`` adds rows/text of a finished run."""
+        payload = {
+            "id": self.id,
+            "experiment_id": self.experiment_id,
+            "scale": self.scale,
+            "seed": self.seed,
+            "ixp": self.ixp,
+            "state": self.state,
+            "incidents": list(self.incidents),
+        }
+        if self.error:
+            payload["error"] = self.error
+        if self.finished_at is not None:
+            payload["elapsed_s"] = round(
+                self.finished_at - self.submitted_at, 3
+            )
+        if full and self.result is not None:
+            payload["result"] = {
+                "title": self.result.title,
+                "paper_reference": self.result.paper_reference,
+                "rows": self.result.rows,
+                "text": self.result.text,
+            }
+        return payload
+
+
+class JobManager:
+    """Submit, track and drain experiment jobs for one service."""
+
+    def __init__(self, service):
+        self._service = service
+        self._jobs: dict[str, Job] = {}
+        self._tasks: dict[str, asyncio.Task] = {}
+        self._next_id = 0
+
+    def submit(
+        self, experiment_id: str, scale: str, seed: int, ixp: bool
+    ) -> Job:
+        """Validate and enqueue one run; returns the pending job."""
+        try:
+            get_experiment(experiment_id)
+        except KeyError as exc:
+            raise HTTPError(404, str(exc)) from exc
+        self._next_id += 1
+        job = Job(
+            id=f"job-{self._next_id:04d}",
+            experiment_id=experiment_id,
+            scale=scale,
+            seed=seed,
+            ixp=ixp,
+        )
+        self._jobs[job.id] = job
+        self._tasks[job.id] = asyncio.get_running_loop().create_task(
+            self._run(job)
+        )
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise HTTPError(404, f"unknown job {job_id!r}") from None
+
+    def all(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    async def drain(self) -> None:
+        """Wait for every submitted job to finish (shutdown path)."""
+        tasks = list(self._tasks.values())
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _run(self, job: Job) -> None:
+        service = self._service
+        log = service.failure_log
+        before = len(log)
+        try:
+            ectx, lock = await service.context_for(
+                job.scale, job.seed, job.ixp
+            )
+            async with lock:
+                job.state = "running"
+                job.result = await asyncio.get_running_loop().run_in_executor(
+                    service.executor,
+                    run_experiment,
+                    ectx,
+                    job.experiment_id,
+                    service.store,
+                )
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001 - job boundary: surface it
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            log.record(
+                "job_failed", detail=f"{job.id} ({job.experiment_id}): {exc}"
+            )
+        finally:
+            job.finished_at = time.time()
+            job.incidents = [
+                incident.render()
+                for incident in list(log)[before:]
+            ]
+            self._tasks.pop(job.id, None)

@@ -1,0 +1,98 @@
+"""Wire shapes for the evaluation service.
+
+Requests cross the HTTP boundary in exactly the canonical form the
+scenario plane already hashes over (:meth:`repro.experiments.scenarios.
+EvalRequest.canonical`), so a client can compute a scenario hash offline
+and the service-side hash always agrees; results cross in the store's
+record form (:func:`repro.experiments.scenarios.result_to_record`).
+This module only validates and converts — no new formats.
+"""
+
+from __future__ import annotations
+
+from ..experiments.config import SCALES
+from ..experiments.scenarios import EvalRequest, result_to_record
+from .http import HTTPError
+
+#: Most requests one POST /v1/metrics may carry; keeps one call from
+#: monopolizing the pool for unbounded time.
+MAX_BATCH = 4096
+
+
+def parse_metrics_body(payload: object) -> tuple[list[EvalRequest], bool]:
+    """Validate a ``POST /v1/metrics`` body → (requests, stream?).
+
+    Accepts ``{"request": {...}}`` or ``{"requests": [{...}, ...]}``
+    with an optional ``"stream": true``; each entry is an
+    :meth:`EvalRequest.canonical` dict.  Raises :class:`HTTPError` 400
+    on anything malformed, including scales this deployment of the
+    service does not know (a typo'd scale would otherwise surface as a
+    500 deep inside context construction).
+    """
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "body must be a JSON object")
+    if "request" in payload and "requests" in payload:
+        raise HTTPError(400, "give either 'request' or 'requests', not both")
+    raw = [payload["request"]] if "request" in payload else payload.get(
+        "requests"
+    )
+    if not isinstance(raw, list) or not raw:
+        raise HTTPError(400, "body needs a 'request' or non-empty 'requests'")
+    if len(raw) > MAX_BATCH:
+        raise HTTPError(400, f"batch of {len(raw)} exceeds {MAX_BATCH}")
+    requests: list[EvalRequest] = []
+    for i, entry in enumerate(raw):
+        try:
+            request = EvalRequest.from_canonical(entry)
+        except ValueError as exc:
+            raise HTTPError(400, f"requests[{i}]: {exc}") from exc
+        if request.scale not in SCALES:
+            raise HTTPError(
+                400,
+                f"requests[{i}]: unknown scale {request.scale!r} "
+                f"(known: {', '.join(sorted(SCALES))})",
+            )
+        requests.append(request)
+    return requests, bool(payload.get("stream", False))
+
+
+def result_event(
+    request: EvalRequest,
+    result,
+    *,
+    step: int,
+    steps: int,
+    cached: bool,
+    coalesced: bool = False,
+) -> dict:
+    """One per-scenario NDJSON event / batch-response entry."""
+    event = {
+        "event": "result",
+        "hash": request.scenario_hash,
+        "step": step,
+        "steps": steps,
+        "cached": cached,
+        "ok": result is not None,
+    }
+    if coalesced:
+        event["coalesced"] = True
+    if result is not None:
+        event["result"] = result_to_record(result)
+    return event
+
+
+def scenario_payload(record: dict) -> dict:
+    """``GET /v1/scenarios/{hash}`` body: the stored record sans CRC
+    (the CRC is a storage-integrity detail, not part of the result)."""
+    return {k: v for k, v in record.items() if k != "crc"}
+
+
+def experiment_payload(spec) -> dict:
+    """One ``GET /v1/experiments`` entry from an ExperimentSpec."""
+    return {
+        "id": spec.experiment_id,
+        "title": spec.title,
+        "paper_reference": spec.paper_reference,
+        "paper_expectation": spec.paper_expectation,
+        "supports_ixp": spec.supports_ixp,
+    }

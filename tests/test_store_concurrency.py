@@ -1,0 +1,190 @@
+"""Concurrency stress: N processes hammering one sqlite store.
+
+The sqlite backend exists because the service plus a batch CLI write
+the same cache concurrently; these tests prove the claim with real
+processes: interleaved puts and gets from several workers against one
+database, with one worker additionally armed with a torn-write fault
+from :mod:`repro.experiments.faults`.  Acceptance: zero lost records
+(every committed put is readable afterward, bit-exact) and no
+``database is locked`` error escaping the busy-timeout/retry layer.
+"""
+
+import json
+import multiprocessing
+import random
+
+import pytest
+
+from repro.experiments.failures import FailureLog
+from repro.experiments.faults import Fault, FaultPlan, disarm
+from repro.experiments.scenarios import EvalRequest, result_from_record
+from repro.experiments.store import SqliteResultStore
+
+N_WORKERS = 4
+PUTS_PER_WORKER = 25
+
+
+def _request(worker: int, i: int) -> EvalRequest:
+    return EvalRequest(
+        scale="tiny",
+        seed=worker,
+        ixp=False,
+        pairs=((i + 1, i + 2),),
+        deployment_full=(i + 2,),
+        deployment_simplex=(),
+        model="security_2nd",
+        attack="hijack",
+    )
+
+
+def _result(worker: int, i: int):
+    rng = random.Random((worker << 16) | i)
+    return result_from_record(
+        {
+            "pairs": [[i + 1, i + 2]],
+            "happy_lower": [rng.randrange(0, 50)],
+            "happy_upper": [rng.randrange(50, 100)],
+            "num_sources": [100],
+        }
+    )
+
+
+def _hammer(root, worker: int, torn_put: int | None, queue) -> None:
+    """One worker: interleaved puts and gets, optionally one torn write.
+
+    Reports ``(worker, committed_hashes, locked_errors)`` through the
+    queue; any unexpected exception is reported as a string so the
+    parent fails with the real error instead of a hang.
+    """
+    try:
+        if torn_put is not None:
+            FaultPlan([Fault(kind="torn_write", put=torn_put)]).arm()
+        log = FailureLog()
+        store = SqliteResultStore(root, failure_log=log)
+        committed: list[str] = []
+        locked = 0
+        for i in range(PUTS_PER_WORKER):
+            request = _request(worker, i)
+            result = _result(worker, i)
+            try:
+                store.put(request, result)
+            except Exception as exc:  # noqa: BLE001 - counted, not fatal
+                if "locked" in str(exc) or "busy" in str(exc):
+                    locked += 1
+                    continue
+                raise
+            if i == torn_put:
+                # The injected fault swallowed this put (the transaction
+                # never committed); re-put so the record is durable —
+                # the recovery a supervised caller performs.
+                store.put(request, result)
+            committed.append(request.scenario_hash)
+            # Interleave reads of our own and other workers' records.
+            probe = _request((worker + 1) % N_WORKERS, i)
+            store.get(probe.scenario_hash)
+            assert store.get(request.scenario_hash) is not None
+        store.close()
+        queue.put((worker, committed, locked))
+    except Exception as exc:  # noqa: BLE001 - surfaced in the parent
+        queue.put((worker, f"{type(exc).__name__}: {exc}", -1))
+    finally:
+        disarm()
+
+
+def test_n_process_hammer_loses_nothing(tmp_path):
+    root = tmp_path / "cache"
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    workers = []
+    for worker in range(N_WORKERS):
+        # Worker 0 takes one torn-write fault mid-run.
+        torn = PUTS_PER_WORKER // 2 if worker == 0 else None
+        proc = ctx.Process(
+            target=_hammer, args=(root, worker, torn, queue)
+        )
+        proc.start()
+        workers.append(proc)
+    reports = [queue.get(timeout=120) for _ in workers]
+    for proc in workers:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+    expected: set[str] = set()
+    for worker, committed, locked in reports:
+        assert locked != -1, f"worker {worker} crashed: {committed}"
+        # No `database is locked` escaped the retry layer.
+        assert locked == 0
+        assert len(committed) == PUTS_PER_WORKER
+        expected.update(committed)
+    # Every record every worker committed is present and bit-exact.
+    store = SqliteResultStore(root)
+    assert expected <= set(store.hashes())
+    for worker in range(N_WORKERS):
+        for i in range(PUTS_PER_WORKER):
+            request = _request(worker, i)
+            loaded = store.get(request.scenario_hash)
+            assert loaded is not None, (worker, i)
+            want = _result(worker, i)
+            assert loaded.value == want.value
+            assert loaded.per_pair == want.per_pair
+            record = store.raw_record(request.scenario_hash)
+            assert record["request"] == request.canonical()
+    store.close()
+
+
+def test_two_writers_one_reader_threads(tmp_path):
+    """Same-process variant (threads share one connection + lock):
+    concurrent puts from executor threads — the service's shape —
+    interleave without lost records or locked errors."""
+    import threading
+
+    root = tmp_path / "cache"
+    log = FailureLog()
+    store = SqliteResultStore(root, failure_log=log)
+    errors: list[str] = []
+
+    def _write(worker: int) -> None:
+        try:
+            for i in range(PUTS_PER_WORKER):
+                store.put(_request(worker, i), _result(worker, i))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(f"{type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=_write, args=(w,)) for w in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert len(store) == 3 * PUTS_PER_WORKER
+    store.close()
+
+
+def test_torn_write_under_concurrency_is_isolated(tmp_path):
+    """A torn (never-committed) write in one process must be invisible
+    to a concurrent reader — no partial bytes, no poisoned rows — and
+    must not affect neighbors' records."""
+    root = tmp_path / "cache"
+    writer_log = FailureLog()
+    writer = SqliteResultStore(root, failure_log=writer_log)
+    reader = SqliteResultStore(root)
+    good = _request(0, 0)
+    writer.put(good, _result(0, 0))
+    torn = _request(0, 1)
+    FaultPlan([Fault(kind="torn_write", put=1)]).arm()
+    try:
+        writer.put(torn, _result(0, 1))
+    finally:
+        disarm()
+    assert writer_log.count("store_torn_write") == 1
+    assert reader.get(good.scenario_hash) is not None
+    assert reader.get(torn.scenario_hash) is None
+    assert torn.scenario_hash not in reader
+    # The database file holds no trace of the torn record at all.
+    rows = reader._execute("SELECT record FROM results")
+    assert all(
+        json.loads(blob)["hash"] != torn.scenario_hash for (blob,) in rows
+    )
+    writer.close()
+    reader.close()
