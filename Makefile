@@ -8,10 +8,12 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 test:
 	$(PYTHON) -m pytest -x -q
 
-## service plane: HTTP API, store backends, concurrency stress (the CI
-## `service` job adds coverage >= 85% on repro.service + the store)
+## service plane: HTTP API, resilience chaos, store backends,
+## concurrency stress (the CI `service` job adds coverage >= 85% on
+## repro.service + the store)
 test-service:
 	$(PYTHON) -m pytest -q --durations=15 tests/test_service.py \
+		tests/test_service_chaos.py \
 		tests/test_store_backends.py tests/test_store_concurrency.py
 
 ## the docs gate: doctests for the documented public API + internal
@@ -44,9 +46,11 @@ bench:
 ## destination-major speedups fall below 2.5x, the vectorized-kernel
 ## speedup below 2x, or the rollout-major chain speedup below 2x
 ## (generous vs the ~4.3x/~4.7x/~3.6x/~3.4x they record on dev
-## hardware), the supervision overhead above 5%, or the service warm
-## path below 20x the cold evaluation rate; never touches the repo's
-## committed BENCH files (check output defaults to temp files)
+## hardware), the supervision overhead above 5%, the service warm
+## path below 20x the cold evaluation rate, or the saturated service
+## failing to shed cold misses with 429 while warm hits stay bounded;
+## never touches the repo's committed BENCH files (check output
+## defaults to temp files)
 bench-check:
 	$(PYTHON) benchmarks/bench_routing.py --check
 	$(PYTHON) benchmarks/bench_rollout.py --check

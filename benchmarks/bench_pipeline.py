@@ -23,6 +23,14 @@ request answers from the store.  ``--check`` floors the warm-hit
 throughput at ≥ :data:`MIN_SERVICE_WARM_SPEEDUP`× the cold evaluation
 rate and records the p50 HTTP latency for a cached hash.
 
+A fifth section times the service *overload* path: with the admission
+budget saturated (``max_inflight=1`` held by a cold small-tier
+evaluation), cold misses must shed with ``429`` + ``Retry-After``,
+readiness must report 503, and warm cached hits must keep answering —
+``--check`` floors the under-saturation warm throughput at
+:data:`MIN_OVERLOAD_WARM_RPS` and its p99 latency at
+:data:`MAX_OVERLOAD_WARM_P99_MS`.
+
 Run via ``make bench`` or directly::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py [--scale tiny]
@@ -78,6 +86,17 @@ MIN_SERVICE_WARM_SPEEDUP = 20.0
 #: floors); ``small`` is the smallest tier with a non-trivial cold
 #: evaluation, so the speedup ratio means something.
 SERVICE_SCALE = "small"
+
+#: Floors on the service *overload* path, enforced by ``--check``:
+#: with the evaluation budget saturated (``max_inflight=1`` held by a
+#: cold small-tier evaluation), warm cached hits must still sustain at
+#: least this throughput with a bounded worst latency, and at least
+#: one cold miss must have been shed with 429.  Both bounds are very
+#: conservative (warm hits actually run thousands/sec at microsecond
+#: latencies) — they exist to catch warm reads queuing behind
+#: evaluations, not to benchmark the fast path.
+MIN_OVERLOAD_WARM_RPS = 25.0
+MAX_OVERLOAD_WARM_P99_MS = 500.0
 
 
 def _timed_run(scale: str, seed: int, processes: int, cache_dir: Path) -> dict:
@@ -154,22 +173,30 @@ class _ServiceThread:
     """The evaluation service running on an asyncio loop in a daemon
     thread, so the benchmark can drive it synchronously over HTTP."""
 
-    def __init__(self, scale: str, seed: int, cache_dir: Path):
+    def __init__(
+        self, scale: str, seed: int, cache_dir: Path, **service_kwargs
+    ):
         self.port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._shutdown: asyncio.Event | None = None
         self._ready = threading.Event()
         self._thread = threading.Thread(
-            target=lambda: asyncio.run(self._main(scale, seed, cache_dir)),
+            target=lambda: asyncio.run(
+                self._main(scale, seed, cache_dir, service_kwargs)
+            ),
             daemon=True,
         )
         self._thread.start()
         if not self._ready.wait(timeout=120):
             raise RuntimeError("service failed to start within 120s")
 
-    async def _main(self, scale: str, seed: int, cache_dir: Path) -> None:
+    async def _main(
+        self, scale: str, seed: int, cache_dir: Path, service_kwargs: dict
+    ) -> None:
         store = open_store(cache_dir, backend="sqlite")
-        service = Service(store, default_scale=scale, default_seed=seed)
+        service = Service(
+            store, default_scale=scale, default_seed=seed, **service_kwargs
+        )
         server = create_server(service, port=0)
         await server.start()
         self._loop = asyncio.get_running_loop()
@@ -252,6 +279,138 @@ def service_warm_path(
     }
 
 
+def service_overload(seed: int = 2013, warm_requests: int = 200) -> dict:
+    """Warm-hit latency and cold-miss shedding under a saturated budget.
+
+    The service runs with ``max_inflight=1``; a cold *small*-tier
+    evaluation (seconds of topology construction plus a pool sweep)
+    occupies the whole budget from a second connection.  While it
+    holds, one cold tiny-tier miss must shed with ``429`` +
+    ``Retry-After`` and readiness must report 503, yet a warm cached
+    hash hammered on a keep-alive connection must keep answering at
+    full speed — warm reads never queue behind evaluations.
+    """
+
+    def _tiny(members):
+        return EvalRequest.build(
+            scale="tiny",
+            seed=seed,
+            ixp=False,
+            pairs=[(3, 2)],
+            deployment=Deployment.of(members),
+            model=SECURITY_SECOND,
+        )
+
+    headers = {"Content-Type": "application/json"}
+    workdir = Path(tempfile.mkdtemp(prefix="bench-overload-"))
+    service = _ServiceThread(
+        "tiny", seed, workdir / "cache", max_inflight=1
+    )
+    saturator: dict = {}
+
+    def _saturate() -> None:
+        big = EvalRequest.build(
+            scale=SERVICE_SCALE,
+            seed=seed,
+            ixp=False,
+            pairs=[(3, 2)],
+            deployment=Deployment.of([2, 3]),
+            model=SECURITY_SECOND,
+        )
+        conn = http.client.HTTPConnection("127.0.0.1", service.port)
+        conn.request(
+            "POST",
+            "/v1/metrics",
+            body=json.dumps({"request": big.canonical()}),
+            headers=headers,
+        )
+        response = conn.getresponse()
+        saturator["status"] = response.status
+        saturator["reply"] = json.loads(response.read())
+        conn.close()
+
+    try:
+        conn = http.client.HTTPConnection("127.0.0.1", service.port)
+
+        def _post(request) -> tuple[int, dict, dict]:
+            conn.request(
+                "POST",
+                "/v1/metrics",
+                body=json.dumps({"request": request.canonical()}),
+                headers=headers,
+            )
+            response = conn.getresponse()
+            return (
+                response.status,
+                dict(response.getheaders()),
+                json.loads(response.read()),
+            )
+
+        def _get(path) -> tuple[int, dict]:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            return response.status, json.loads(response.read())
+
+        warm = _tiny([2, 3])
+        status, _h, reply = _post(warm)
+        assert status == 200 and reply["results"][0]["ok"], reply
+
+        thread = threading.Thread(target=_saturate, daemon=True)
+        thread.start()
+        deadline = time.perf_counter() + 120
+        while True:
+            _status, stats = _get("/v1/stats")
+            if stats["admission"]["saturated"]:
+                break
+            assert time.perf_counter() < deadline, "never saturated"
+            time.sleep(0.02)
+
+        shed_status, shed_headers, shed_reply = _post(_tiny([2, 3, 4]))
+        retry_after = {
+            k.lower(): v for k, v in shed_headers.items()
+        }.get("retry-after")
+        ready_status, _ready = _get("/v1/readyz")
+
+        latencies: list[float] = []
+        warm_started = time.perf_counter()
+        for _ in range(warm_requests):
+            t0 = time.perf_counter()
+            status, _h, reply = _post(warm)
+            latencies.append(time.perf_counter() - t0)
+            assert status == 200 and reply["results"][0]["cached"], reply
+        warm_seconds = time.perf_counter() - warm_started
+
+        thread.join(timeout=300)
+        assert not thread.is_alive(), "saturating evaluation never finished"
+        assert saturator["status"] == 200, saturator
+        _status, stats = _get("/v1/stats")
+        conn.close()
+    finally:
+        service.stop()
+        shutil.rmtree(workdir, ignore_errors=True)
+    latencies.sort()
+    return {
+        "seed": seed,
+        "max_inflight": 1,
+        "shed_status": shed_status,
+        "shed_retry_after_s": (
+            int(retry_after) if retry_after is not None else None
+        ),
+        "readyz_status_under_load": ready_status,
+        "shed_requests": stats["admission"]["shed"],
+        "warm_requests": warm_requests,
+        "warm_hits_per_sec": round(warm_requests / warm_seconds, 1),
+        "warm_p50_ms": round(
+            statistics.median(latencies) * 1000.0, 3
+        ),
+        "warm_p99_ms": round(
+            latencies[int(len(latencies) * 0.99)] * 1000.0, 3
+        ),
+        "min_warm_hits_per_sec": MIN_OVERLOAD_WARM_RPS,
+        "max_warm_p99_ms": MAX_OVERLOAD_WARM_P99_MS,
+    }
+
+
 def run(scale: str, seed: int, processes: int) -> dict:
     workdir = Path(tempfile.mkdtemp(prefix="bench-pipeline-"))
     try:
@@ -286,6 +445,7 @@ def run(scale: str, seed: int, processes: int) -> dict:
         "warm_speedup": round(cold["seconds"] / max(warm["seconds"], 1e-9), 2),
         "supervision": supervision_overhead(scale, seed),
         "service": service_warm_path(seed=seed),
+        "service_overload": service_overload(seed=seed),
     }
 
 
@@ -324,6 +484,35 @@ def main() -> None:
         print(
             f"OK: service warm path {warm['warm_vs_cold_speedup']}x cold "
             f"(p50 {warm['p50_latency_ms']}ms) >= {MIN_SERVICE_WARM_SPEEDUP}x"
+        )
+        overload = service_overload(seed=args.seed)
+        print(json.dumps(overload, indent=2))
+        assert overload["shed_status"] == 429, (
+            f"saturated cold miss answered {overload['shed_status']}, "
+            "expected 429"
+        )
+        assert overload["shed_retry_after_s"] is not None, (
+            "429 shed response carried no Retry-After header"
+        )
+        assert overload["readyz_status_under_load"] == 503, (
+            f"saturated readiness answered "
+            f"{overload['readyz_status_under_load']}, expected 503"
+        )
+        assert overload["shed_requests"] >= 1
+        assert overload["warm_hits_per_sec"] >= MIN_OVERLOAD_WARM_RPS, (
+            f"warm hits under saturation ran at "
+            f"{overload['warm_hits_per_sec']}/s "
+            f"(floor: {MIN_OVERLOAD_WARM_RPS}/s)"
+        )
+        assert overload["warm_p99_ms"] <= MAX_OVERLOAD_WARM_P99_MS, (
+            f"warm p99 under saturation was {overload['warm_p99_ms']}ms "
+            f"(ceiling: {MAX_OVERLOAD_WARM_P99_MS}ms)"
+        )
+        print(
+            f"OK: under saturation warm hits "
+            f"{overload['warm_hits_per_sec']}/s "
+            f"(p99 {overload['warm_p99_ms']}ms), cold misses shed with "
+            f"429 + Retry-After {overload['shed_retry_after_s']}s"
         )
         return
     record = run(args.scale, args.seed, args.processes)

@@ -9,7 +9,12 @@ shared results mapping.
 """
 
 from .config import DEFAULT_SEED, SCALES, Scale, get_scale
-from .failures import EvaluationFailure, FailureLog, Incident
+from .failures import (
+    EvaluationCancelled,
+    EvaluationFailure,
+    FailureLog,
+    Incident,
+)
 from .faults import Fault, FaultPlan
 from .registry import (
     ExperimentResult,
@@ -38,6 +43,7 @@ from .store import (
 from .writeup import run_all, run_trials, write_markdown
 
 __all__ = [
+    "EvaluationCancelled",
     "EvaluationFailure",
     "FailureLog",
     "Incident",

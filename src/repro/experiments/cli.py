@@ -131,6 +131,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="build the default (scale, seed) context before accepting "
         "traffic, so the first metric request is already warm",
     )
+    serve_p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="evaluation budget: unique cold scenarios in flight before "
+        "new ones are shed with 429 + Retry-After (cached hashes always "
+        "serve)",
+    )
+    serve_p.add_argument(
+        "--deadline-ms",
+        type=int,
+        default=60_000,
+        help="server default deadline for a metrics request; clients "
+        "override per request with 'deadline_ms' (0 disables)",
+    )
+    serve_p.add_argument(
+        "--keep-alive-timeout",
+        type=float,
+        default=75.0,
+        help="seconds an idle keep-alive connection may sit before the "
+        "server closes it (0 disables)",
+    )
 
     store_p = sub.add_parser(
         "store", help="export/import the scenario store (JSONL interchange)"
@@ -344,6 +366,8 @@ def _serve(args: argparse.Namespace) -> int:
             default_scale=args.scale,
             default_seed=args.seed,
             failure_log=failure_log,
+            max_inflight=args.max_inflight,
+            default_deadline_ms=args.deadline_ms or None,
         )
         if args.preload:
             await service.context_for(args.scale, args.seed, False)
@@ -372,6 +396,7 @@ def _serve(args: argparse.Namespace) -> int:
             port=args.port,
             shutdown=shutdown,
             on_ready=_ready,
+            keep_alive_timeout=args.keep_alive_timeout or None,
         )
 
     try:

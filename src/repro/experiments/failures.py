@@ -42,6 +42,17 @@ class EvaluationFailure(RuntimeError):
     """
 
 
+class EvaluationCancelled(RuntimeError):
+    """A cooperative-cancellation request stopped an evaluation early.
+
+    Raised by the scheduler between rollout chains when the caller's
+    ``cancel`` callable turns true (a deleted service job, a waiterless
+    single-flight entry).  Everything evaluated before the check was
+    already persisted; nothing is torn down mid-chain, so the store
+    stays consistent and the supervised pool unwinds cleanly.
+    """
+
+
 @dataclass(frozen=True)
 class Incident:
     """One recorded failure event (see :data:`FATAL_KINDS` for which

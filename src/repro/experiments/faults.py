@@ -15,7 +15,15 @@ points instead of relying on chance:
   the in-process serial fallback (the unrecoverable-scenario case that
   exercises the CLI's nonzero-exit contract);
 * ``torn_write`` — the store writes only a prefix of record ``k``'s
-  line, simulating a crash mid-``put`` (the torn-tail-recovery case).
+  line, simulating a crash mid-``put`` (the torn-tail-recovery case);
+* ``slow_store`` — the service's store call sleeps ``seconds`` before
+  proceeding (the lock-convoy / saturated-disk case: the operation
+  succeeds, late);
+* ``store_error`` — the service's store call raises :class:`OSError`
+  (the sick-sqlite case that trips the service circuit breaker);
+* ``client_disconnect`` — the HTTP server aborts the client transport
+  after streaming chunk ``chunk`` (the vanished-reader case that must
+  tear down orphaned chain work).
 
 A :class:`FaultPlan` is a list of :class:`Fault` coordinates.  Worker
 faults address shards by the supervised pool's *dispatch sequence
@@ -48,9 +56,26 @@ ENV_VAR = "REPRO_FAULTS"
 #: in the parent would kill or hang the supervisor itself).
 _WORKER_ONLY = frozenset({"worker_kill", "worker_hang"})
 
+#: Fault kinds addressed by supervised-pool shard coordinates.
+_WORKER_KINDS = frozenset(
+    {"worker_kill", "worker_hang", "worker_oom", "eval_error"}
+)
+
+#: Fault kinds fired by the service's store-call wrapper.
+_STORE_KINDS = frozenset({"slow_store", "store_error"})
+
 #: All understood kinds, for validation.
 KINDS = frozenset(
-    {"worker_kill", "worker_hang", "worker_oom", "eval_error", "torn_write"}
+    {
+        "worker_kill",
+        "worker_hang",
+        "worker_oom",
+        "eval_error",
+        "torn_write",
+        "slow_store",
+        "store_error",
+        "client_disconnect",
+    }
 )
 
 
@@ -67,7 +92,13 @@ class Fault:
     slot: int | None = None
     #: store ``put`` index (``torn_write``).
     put: int | None = None
-    #: hang duration (``worker_hang``).
+    #: service store-call index (``slow_store``/``store_error``);
+    #: ``None`` fires on every call.
+    op: int | None = None
+    #: NDJSON stream chunk index (``client_disconnect``); ``None``
+    #: fires after the first chunk.
+    chunk: int | None = None
+    #: hang/delay duration (``worker_hang``, ``slow_store``).
     seconds: float = 3600.0
 
     def __post_init__(self):
@@ -107,7 +138,7 @@ class FaultPlan:
         out = []
         for fault in self.faults:
             spec = {"kind": fault.kind}
-            for name in ("shard", "attempt", "slot", "put"):
+            for name in ("shard", "attempt", "slot", "put", "op", "chunk"):
                 value = getattr(fault, name)
                 if value != Fault.__dataclass_fields__[name].default:
                     spec[name] = value
@@ -126,7 +157,7 @@ class FaultPlan:
     ) -> Fault | None:
         """The first worker/eval fault matching these coordinates."""
         for fault in self.faults:
-            if fault.kind == "torn_write":
+            if fault.kind not in _WORKER_KINDS:
                 continue
             if fault.shard is not None and fault.shard != shard:
                 continue
@@ -143,6 +174,24 @@ class FaultPlan:
             if fault.kind == "torn_write" and fault.put == put_index:
                 return fault
         return None
+
+    def store_fault(self, op_index: int) -> Fault | None:
+        """The service store fault matching this store-call index."""
+        for fault in self.faults:
+            if fault.kind in _STORE_KINDS and (
+                fault.op is None or fault.op == op_index
+            ):
+                return fault
+        return None
+
+    def client_disconnect(self, chunk_index: int) -> bool:
+        """Whether to abort the client transport after this chunk."""
+        for fault in self.faults:
+            if fault.kind == "client_disconnect" and (
+                fault.chunk is None or fault.chunk == chunk_index
+            ):
+                return True
+        return False
 
     # -- firing ---------------------------------------------------------
     def fire_worker(
@@ -179,6 +228,23 @@ class FaultPlan:
             raise RuntimeError(
                 f"injected evaluation fault (fault plan: shard {shard}, "
                 f"attempt {attempt})"
+            )
+
+    def fire_store(self, op_index: int) -> None:
+        """Fire the matching service store fault, if any.
+
+        ``slow_store`` sleeps and returns (the call then proceeds,
+        late); ``store_error`` raises :class:`OSError` in the caller,
+        standing in for a sick sqlite file or full disk.
+        """
+        fault = self.store_fault(op_index)
+        if fault is None:
+            return
+        if fault.kind == "slow_store":
+            time.sleep(fault.seconds)
+        else:
+            raise OSError(
+                f"injected store I/O failure (fault plan: op {op_index})"
             )
 
 

@@ -61,7 +61,7 @@ from ..topology.generate import SyntheticTopology, TopologyParams, generate_topo
 from ..topology.ixp import augment_with_ixp_peering
 from ..topology.tiers import TierTable, classify_tiers
 from .config import DEFAULT_SEED, Scale, get_scale
-from .failures import EvaluationFailure, FailureLog
+from .failures import EvaluationCancelled, EvaluationFailure, FailureLog
 from .faults import active_plan
 from .scenarios import EvalRequest, EvalResults, detect_chains
 
@@ -992,6 +992,7 @@ def evaluate_requests(
     ectx: ExperimentContext,
     requests: Iterable[EvalRequest],
     store: "ResultStore | None" = None,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> EvalResults:
     """Evaluate (or fetch) every request, deduped by scenario hash.
 
@@ -1009,6 +1010,13 @@ def evaluate_requests(
     Store-cached steps simply drop out of the chain (the advance jumps
     over them with a bigger delta).  Every scenario hash, store record
     and result is byte-identical to the step-independent path.
+
+    ``cancel`` (if given) is polled between chains; when it turns true
+    the scheduler raises
+    :class:`~repro.experiments.failures.EvaluationCancelled` instead of
+    starting the next chain.  Chains already evaluated were persisted,
+    the in-flight pool shard is never interrupted mid-chain, so a
+    cancelled run leaves the store consistent and resumable.
     """
     unique: dict[str, EvalRequest] = {}
     for request in requests:
@@ -1039,7 +1047,12 @@ def evaluate_requests(
         chains = detect_chains(missing)
     else:
         chains = [[request] for request in missing]
-    for chain in chains:
+    for done, chain in enumerate(chains):
+        if cancel is not None and cancel():
+            raise EvaluationCancelled(
+                f"evaluation cancelled with {len(chains) - done} of "
+                f"{len(chains)} chain(s) unevaluated"
+            )
         try:
             if len(chain) == 1:
                 request = chain[0]
@@ -1087,6 +1100,7 @@ def run_experiments(
     ectx: ExperimentContext,
     experiment_ids: Sequence[str] | None = None,
     store: "ResultStore | None" = None,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> "list[ExperimentResult]":
     """Run experiments through the scenario plane.
 
@@ -1103,7 +1117,7 @@ def run_experiments(
     requests: list[EvalRequest] = []
     for spec in specs:
         requests.extend(spec.requests(ectx))
-    results = evaluate_requests(ectx, requests, store=store)
+    results = evaluate_requests(ectx, requests, store=store, cancel=cancel)
     out = []
     for spec in specs:
         try:
@@ -1142,6 +1156,7 @@ def run_experiment(
     ectx: ExperimentContext,
     experiment_id: str,
     store: "ResultStore | None" = None,
+    cancel: "Callable[[], bool] | None" = None,
 ) -> "ExperimentResult":
     """Declare-evaluate-consume for a single experiment."""
-    return run_experiments(ectx, [experiment_id], store=store)[0]
+    return run_experiments(ectx, [experiment_id], store=store, cancel=cancel)[0]

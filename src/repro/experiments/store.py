@@ -828,6 +828,11 @@ class SqliteResultStore(ResultStoreBase):
         self._insert(record)
         # Not memoized: imported bytes are verified on first read, so a
         # CRC-corrupt import is detected exactly like disk corruption.
+        # A *stale* memo from an earlier read must go, though — leaving
+        # it would serve the superseded record forever and break
+        # newest-wins on this handle (the next read re-queries and runs
+        # the normal corrupt-newest fallback over the rows).
+        self._parsed.pop(record["hash"], None)
         self._dead.discard(record["hash"])
         return record["hash"]
 

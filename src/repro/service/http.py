@@ -13,22 +13,51 @@ return an *async iterator* of JSON-able dicts: the connection then
 switches to ``Transfer-Encoding: chunked`` and each dict is written as
 one NDJSON line in its own chunk the moment it is yielded — that is the
 whole streaming story.  :class:`HTTPError` raised anywhere in a handler
-becomes a JSON error body with the matching status.
+becomes a JSON error body with the matching status, optional extra
+payload fields, and optional response headers (``Retry-After``).
+
+Resilience behaviors owned by this layer:
+
+* idle keep-alive connections are closed after
+  :data:`DEFAULT_KEEP_ALIVE_TIMEOUT` seconds so dangling clients do
+  not pin server sockets for the life of the process;
+* :meth:`HTTPServer.stop` *drains*: it stops accepting, closes idle
+  connections, then waits up to ``drain_timeout`` for in-flight
+  requests — including mid-NDJSON streams — to finish cleanly before
+  cancelling stragglers;
+* while a chunked stream is being written the peer is watched for
+  disconnect (without consuming pipelined bytes); a vanished client
+  ends the stream immediately and closes the producing generator, so
+  upstream work is released instead of orphaned.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import inspect
 import json
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
+
+from ..experiments.faults import active_plan
 
 #: Hard cap on request head (request line + headers) and body sizes —
 #: the service sits on localhost by default, but a cap keeps a corrupt
 #: client from ballooning server memory.
 MAX_HEAD_BYTES = 64 * 1024
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Idle keep-alive connections are dropped after this many seconds
+#: (the classic reverse-proxy default neighborhood).
+DEFAULT_KEEP_ALIVE_TIMEOUT = 75.0
+
+#: How long :meth:`HTTPServer.stop` waits for in-flight requests to
+#: finish before cancelling them.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: Seconds between peer-liveness checks while writing a chunked stream.
+_DISCONNECT_POLL_S = 0.05
 
 _REASONS = {
     200: "OK",
@@ -38,18 +67,35 @@ _REASONS = {
     405: "Method Not Allowed",
     409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
 
 
 class HTTPError(Exception):
-    """Raise from a handler to answer with a status + JSON error body."""
+    """Raise from a handler to answer with a status + JSON error body.
 
-    def __init__(self, status: int, message: str):
+    ``extra`` fields are merged into the JSON error body (breaker
+    state, shed diagnostics); ``headers`` go out on the response
+    (``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+        extra: dict | None = None,
+    ):
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers or {})
+        self.extra = dict(extra or {})
+
+    def payload(self) -> dict:
+        return {"error": self.message, **self.extra}
 
 
 @dataclass
@@ -82,9 +128,11 @@ class Response:
         status: int = 200,
         content_type: str = "application/json",
         body: bytes | None = None,
+        headers: dict[str, str] | None = None,
     ):
         self.status = status
         self.content_type = content_type
+        self.headers = dict(headers or {})
         if body is not None:
             self.body = body
         elif payload is None:
@@ -136,11 +184,31 @@ def _match_parts(
 class HTTPServer:
     """The asyncio server loop: accept, parse, dispatch, keep-alive."""
 
-    def __init__(self, router: Router, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        router: Router,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        keep_alive_timeout: float | None = DEFAULT_KEEP_ALIVE_TIMEOUT,
+        drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+    ):
         self.router = router
         self.host = host
         self.port = port
+        self.keep_alive_timeout = keep_alive_timeout
+        self.drain_timeout = drain_timeout
         self._server: asyncio.AbstractServer | None = None
+        #: handler task → writer, for every open connection.
+        self._connections: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        #: the subset of handler tasks currently serving a request
+        #: (everything else is parked on an idle keep-alive read).
+        self._busy: set[asyncio.Task] = set()
+        self._draining = False
+
+    @property
+    def connections(self) -> int:
+        """Open connections (draining diagnostics and tests)."""
+        return len(self._connections)
 
     async def start(self) -> None:
         """Bind and start accepting; ``self.port`` becomes the real port
@@ -151,13 +219,35 @@ class HTTPServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting and close listening sockets (idempotent)."""
+        """Stop accepting and drain (idempotent).
+
+        Idle keep-alive connections are closed immediately; in-flight
+        requests — including mid-chunk NDJSON streams — get up to
+        ``drain_timeout`` seconds to finish cleanly before being
+        cancelled.
+        """
+        self._draining = True
         server, self._server = self._server, None
-        if server is not None:
-            server.close()
-            await server.wait_closed()
+        if server is None:
+            return
+        server.close()
+        for task, writer in list(self._connections.items()):
+            if task not in self._busy:
+                writer.close()
+        tasks = [task for task in self._connections if not task.done()]
+        if tasks:
+            _done, pending = await asyncio.wait(
+                tasks, timeout=self.drain_timeout
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await server.wait_closed()
 
     async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections[task] = writer
         try:
             while True:
                 try:
@@ -166,7 +256,11 @@ class HTTPServer:
                     # Parse failure: the framing is unreliable now, so
                     # answer and drop the connection.
                     await self._write_response(
-                        Response({"error": exc.message}, status=exc.status),
+                        Response(
+                            exc.payload(),
+                            status=exc.status,
+                            headers=exc.headers,
+                        ),
                         writer,
                     )
                     break
@@ -175,8 +269,12 @@ class HTTPServer:
                 keep_alive = (
                     request.headers.get("connection", "").lower() != "close"
                 )
-                await self._dispatch(request, writer)
-                if not keep_alive:
+                self._busy.add(task)
+                try:
+                    stream_ok = await self._dispatch(request, reader, writer)
+                finally:
+                    self._busy.discard(task)
+                if not keep_alive or not stream_ok or self._draining:
                     break
         except (
             ConnectionError,
@@ -185,15 +283,28 @@ class HTTPServer:
         ):
             pass  # client went away or overflowed the head limit
         finally:
+            self._connections.pop(task, None)
+            self._busy.discard(task)
             # No await on wait_closed(): the transport tears down
             # asynchronously, and blocking here would leave one task
             # parked per idle keep-alive connection at shutdown.
             writer.close()
 
     async def _read_request(self, reader) -> Request | None:
-        """Parse one request off the wire; None on clean EOF."""
+        """Parse one request off the wire; None on clean EOF.
+
+        The wait for the *request line* is bounded by
+        ``keep_alive_timeout``: a connection that sits idle past it is
+        treated as a clean EOF and closed, so dangling clients cannot
+        pin sockets forever.
+        """
         try:
-            line = await reader.readuntil(b"\r\n")
+            read = reader.readuntil(b"\r\n")
+            if self.keep_alive_timeout is not None:
+                read = asyncio.wait_for(read, self.keep_alive_timeout)
+            line = await read
+        except (asyncio.TimeoutError, TimeoutError):
+            return None
         except asyncio.IncompleteReadError as exc:
             if not exc.partial:
                 return None
@@ -229,7 +340,9 @@ class HTTPServer:
             body=body,
         )
 
-    async def _dispatch(self, request: Request, writer) -> None:
+    async def _dispatch(self, request: Request, reader, writer) -> bool:
+        """Serve one request; False means the connection is unusable
+        (a stream ended on a dead or aborted transport)."""
         try:
             handler, request.params = self.router.match(
                 request.method, request.path
@@ -238,15 +351,17 @@ class HTTPServer:
             if inspect.isawaitable(result):
                 result = await result
         except HTTPError as exc:
-            result = Response({"error": exc.message}, status=exc.status)
+            result = Response(
+                exc.payload(), status=exc.status, headers=exc.headers
+            )
         except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
             result = Response(
                 {"error": f"{type(exc).__name__}: {exc}"}, status=500
             )
         if isinstance(result, Response):
             await self._write_response(result, writer)
-        else:
-            await self._write_stream(result, writer)
+            return True
+        return await self._write_stream(result, writer, reader)
 
     async def _write_response(self, response: Response, writer) -> None:
         reason = _REASONS.get(response.status, "Unknown")
@@ -254,37 +369,113 @@ class HTTPServer:
             f"HTTP/1.1 {response.status} {reason}\r\n"
             f"Content-Type: {response.content_type}\r\n"
             f"Content-Length: {len(response.body)}\r\n"
-            "\r\n"
         )
+        for name, value in response.headers.items():
+            head += f"{name}: {value}\r\n"
+        head += "\r\n"
         writer.write(head.encode() + response.body)
         await writer.drain()
 
-    async def _write_stream(self, events, writer) -> None:
+    async def _write_stream(self, events, writer, reader=None) -> bool:
         """Write an async iterator of dicts as chunked NDJSON.
 
         Each event is flushed in its own chunk immediately, so clients
         observe rollout progress as it happens rather than at the end.
         A handler error mid-stream becomes a final ``error`` event — the
         status line is long gone by then.
+
+        While streaming, the peer is watched for disconnect (via the
+        reader's EOF/exception state, never by consuming bytes): a
+        vanished client stops the stream at the next event boundary and
+        the events generator is *always* closed on the way out, so a
+        producer blocked on slow upstream work is released rather than
+        orphaned.  Returns False when the transport is no longer usable
+        for keep-alive.
         """
-        writer.write(
-            b"HTTP/1.1 200 OK\r\n"
-            b"Content-Type: application/x-ndjson\r\n"
-            b"Transfer-Encoding: chunked\r\n"
-            b"\r\n"
-        )
-        await writer.drain()
+        watcher = None
+        iterator = events.__aiter__()
+        chunk_index = 0
+        usable = True
         try:
-            async for event in events:
-                await self._write_chunk(writer, event)
-        except HTTPError as exc:
-            await self._write_chunk(writer, {"error": exc.message})
-        except Exception as exc:  # noqa: BLE001 - boundary, mid-stream
-            await self._write_chunk(
-                writer, {"error": f"{type(exc).__name__}: {exc}"}
+            writer.write(
+                b"HTTP/1.1 200 OK\r\n"
+                b"Content-Type: application/x-ndjson\r\n"
+                b"Transfer-Encoding: chunked\r\n"
+                b"\r\n"
             )
-        writer.write(b"0\r\n\r\n")
-        await writer.drain()
+            await writer.drain()
+            if reader is not None:
+                watcher = asyncio.create_task(
+                    self._watch_disconnect(reader)
+                )
+            while True:
+                step = asyncio.ensure_future(iterator.__anext__())
+                if watcher is not None:
+                    await asyncio.wait(
+                        {step, watcher},
+                        return_when=asyncio.FIRST_COMPLETED,
+                    )
+                    if not step.done():
+                        # Client vanished mid-stream: stop producing.
+                        step.cancel()
+                        with contextlib.suppress(
+                            asyncio.CancelledError, Exception
+                        ):
+                            await step
+                        usable = False
+                        break
+                try:
+                    event = await step
+                except StopAsyncIteration:
+                    break
+                except HTTPError as exc:
+                    await self._write_chunk(
+                        writer,
+                        {
+                            "event": "error",
+                            "status": exc.status,
+                            "error": exc.message,
+                            **exc.extra,
+                        },
+                    )
+                    break
+                except Exception as exc:  # noqa: BLE001 - boundary, mid-stream
+                    await self._write_chunk(
+                        writer, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                    break
+                await self._write_chunk(writer, event)
+                plan = active_plan()
+                if plan is not None and plan.client_disconnect(chunk_index):
+                    # Injected vanishing client: kill our own transport
+                    # so the teardown path runs exactly as it would on
+                    # a real RST.
+                    writer.transport.abort()
+                    usable = False
+                    break
+                chunk_index += 1
+            if usable:
+                writer.write(b"0\r\n\r\n")
+                await writer.drain()
+        except ConnectionError:
+            usable = False
+        finally:
+            if watcher is not None:
+                watcher.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await watcher
+            aclose = getattr(events, "aclose", None)
+            if aclose is not None:
+                with contextlib.suppress(Exception):
+                    await aclose()
+        return usable
+
+    @staticmethod
+    async def _watch_disconnect(reader) -> None:
+        """Complete once the peer's connection is gone (EOF or error),
+        checking passively so pipelined bytes are never consumed."""
+        while not (reader.at_eof() or reader.exception() is not None):
+            await asyncio.sleep(_DISCONNECT_POLL_S)
 
     @staticmethod
     async def _write_chunk(writer, event: dict) -> None:

@@ -18,16 +18,25 @@ from .http import HTTPError
 #: monopolizing the pool for unbounded time.
 MAX_BATCH = 4096
 
+#: Upper bound on a client-supplied deadline (1 hour): beyond this a
+#: client is really asking for "no deadline", which only the server
+#: default may grant.
+MAX_DEADLINE_MS = 3_600_000
 
-def parse_metrics_body(payload: object) -> tuple[list[EvalRequest], bool]:
-    """Validate a ``POST /v1/metrics`` body → (requests, stream?).
+
+def parse_metrics_body(
+    payload: object,
+) -> tuple[list[EvalRequest], bool, int | None]:
+    """Validate a ``POST /v1/metrics`` body → (requests, stream?,
+    deadline_ms?).
 
     Accepts ``{"request": {...}}`` or ``{"requests": [{...}, ...]}``
-    with an optional ``"stream": true``; each entry is an
-    :meth:`EvalRequest.canonical` dict.  Raises :class:`HTTPError` 400
-    on anything malformed, including scales this deployment of the
-    service does not know (a typo'd scale would otherwise surface as a
-    500 deep inside context construction).
+    with an optional ``"stream": true`` and an optional positive
+    ``"deadline_ms"`` (``None`` means "use the server default"); each
+    entry is an :meth:`EvalRequest.canonical` dict.  Raises
+    :class:`HTTPError` 400 on anything malformed, including scales
+    this deployment of the service does not know (a typo'd scale would
+    otherwise surface as a 500 deep inside context construction).
     """
     if not isinstance(payload, dict):
         raise HTTPError(400, "body must be a JSON object")
@@ -53,7 +62,18 @@ def parse_metrics_body(payload: object) -> tuple[list[EvalRequest], bool]:
                 f"(known: {', '.join(sorted(SCALES))})",
             )
         requests.append(request)
-    return requests, bool(payload.get("stream", False))
+    deadline_ms = payload.get("deadline_ms")
+    if deadline_ms is not None:
+        if (
+            isinstance(deadline_ms, bool)
+            or not isinstance(deadline_ms, (int, float))
+            or deadline_ms <= 0
+        ):
+            raise HTTPError(
+                400, "deadline_ms must be a positive number of milliseconds"
+            )
+        deadline_ms = min(int(deadline_ms), MAX_DEADLINE_MS)
+    return requests, bool(payload.get("stream", False)), deadline_ms
 
 
 def result_event(
@@ -64,8 +84,15 @@ def result_event(
     steps: int,
     cached: bool,
     coalesced: bool = False,
+    error: str | None = None,
 ) -> dict:
-    """One per-scenario NDJSON event / batch-response entry."""
+    """One per-scenario NDJSON event / batch-response entry.
+
+    ``error`` carries the failure message when the owning evaluation
+    raised or was cancelled — the event then has ``ok: false`` and no
+    ``result``, so waiters coalesced onto a failed evaluation learn
+    *why* instead of silently getting nothing.
+    """
     event = {
         "event": "result",
         "hash": request.scenario_hash,
@@ -78,6 +105,8 @@ def result_event(
         event["coalesced"] = True
     if result is not None:
         event["result"] = result_to_record(result)
+    if error is not None:
+        event["error"] = error
     return event
 
 

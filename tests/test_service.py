@@ -15,6 +15,7 @@ import os
 import signal
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -177,10 +178,10 @@ class TestMetricsEndpoint:
         real = app_module.evaluate_requests
         calls = []
 
-        def slow_evaluate(ectx, requests, store):
+        def slow_evaluate(ectx, requests, store=None, cancel=None):
             calls.append([r.scenario_hash for r in requests])
             time.sleep(0.3)  # hold the evaluation open for the 2nd rider
-            return real(ectx, requests, store)
+            return real(ectx, requests, store, cancel=cancel)
 
         monkeypatch.setattr(app_module, "evaluate_requests", slow_evaluate)
 
@@ -335,6 +336,68 @@ class TestExperimentsAndJobs:
 
         _run(scenario, tmp_path)
 
+    def test_cancel_running_job(self, tmp_path, monkeypatch):
+        """``DELETE /v1/jobs/{id}`` cooperatively cancels a running
+        job; cancelling a terminal job is a 409; the cancelled state is
+        durable in the store."""
+        import repro.service.jobs as jobs_module
+
+        from repro.experiments.failures import EvaluationCancelled
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stalled_run(ectx, experiment_id, store, cancel=None):
+            entered.set()
+            release.wait(timeout=30)
+            if cancel is not None and cancel():
+                raise EvaluationCancelled("cancelled between chains")
+            raise AssertionError("job was never cancelled")
+
+        monkeypatch.setattr(jobs_module, "run_experiment", stalled_run)
+
+        async def scenario(client, service, store):
+            status, job = await client.request(
+                "POST", "/v1/experiments/baseline/run", {"scale": "tiny"}
+            )
+            assert status == 202
+            deadline = time.monotonic() + 30
+            while not entered.is_set():
+                assert time.monotonic() < deadline
+                await asyncio.sleep(0.02)
+            status, reply = await client.request(
+                "DELETE", f"/v1/jobs/{job['id']}"
+            )
+            assert status == 202 and reply["cancel_requested"]
+            release.set()
+            deadline = time.monotonic() + 30
+            while True:
+                status, reply = await client.request(
+                    "GET", f"/v1/jobs/{job['id']}"
+                )
+                if reply["state"] not in ("pending", "running"):
+                    break
+                assert time.monotonic() < deadline, reply
+                await asyncio.sleep(0.02)
+            assert reply["state"] == "cancelled", reply
+            assert "cancelled" in reply["error"]
+            assert any("job_cancelled" in i for i in reply["incidents"])
+            status, reply = await client.request(
+                "DELETE", f"/v1/jobs/{job['id']}"
+            )
+            assert status == 409 and "already cancelled" in reply["error"]
+            # The terminal state becomes durable (the final persist can
+            # land a beat after the in-memory transition).
+            deadline = time.monotonic() + 30
+            while True:
+                record = store.raw_record(f"job:{job['id']}")
+                if record["result"]["state"] == "cancelled":
+                    break
+                assert time.monotonic() < deadline, record
+                await asyncio.sleep(0.02)
+
+        _run(scenario, tmp_path)
+
     def test_unknown_experiment_and_job_404(self, tmp_path):
         async def scenario(client, service, store):
             status, reply = await client.request(
@@ -410,6 +473,68 @@ class TestServiceRestart:
         second = _run(warm, tmp_path)
         assert first == second  # bit-identical payload across restarts
 
+    def test_jobs_survive_restart_and_mid_flight_are_failed(
+        self, tmp_path
+    ):
+        """Job records outlive the process: a finished job still
+        answers ``GET /v1/jobs/{id}`` after a restart, and a job the
+        previous process died under is terminal-ized as failed
+        ("interrupted by service restart") instead of vanishing."""
+        from repro.service.jobs import Job
+
+        async def first_life(client, service, store):
+            status, job = await client.request(
+                "POST", "/v1/experiments/baseline/run", {"scale": "tiny"}
+            )
+            assert status == 202
+            deadline = time.monotonic() + 120
+            while True:
+                status, job = await client.request(
+                    "GET", f"/v1/jobs/{job['id']}"
+                )
+                if job["state"] in ("done", "failed"):
+                    break
+                assert time.monotonic() < deadline, job
+                await asyncio.sleep(0.05)
+            assert job["state"] == "done", job
+            return job["id"]
+
+        job_id = _run(first_life, tmp_path)
+
+        # Plant a job the "previous process" never finished.
+        store = open_store(tmp_path / "cache", backend="sqlite")
+        zombie = Job(
+            id="job-7777",
+            experiment_id="baseline",
+            scale="tiny",
+            seed=SEED,
+            ixp=False,
+            state="running",
+        )
+        store.put_record(zombie.record())
+        store.close()
+
+        async def second_life(client, service, store):
+            status, job = await client.request(
+                "GET", f"/v1/jobs/{job_id}"
+            )
+            assert status == 200
+            assert job["state"] == "done"
+            assert job["result"]["rows"]  # full payload restored
+            status, job = await client.request("GET", "/v1/jobs/job-7777")
+            assert status == 200
+            assert job["state"] == "failed"
+            assert "interrupted by service restart" in job["error"]
+            assert service.failure_log.count("job_interrupted") == 1
+            # The id counter resumed past the restored history.
+            status, fresh = await client.request(
+                "POST", "/v1/experiments/baseline/run", {"scale": "tiny"}
+            )
+            assert status == 202
+            assert int(fresh["id"].rsplit("-", 1)[-1]) > 7777
+
+        _run(second_life, tmp_path)
+
 
 class TestHTTPLayer:
     """The HTTP primitives directly — routing, parsing, error paths."""
@@ -455,17 +580,57 @@ class TestHTTPLayer:
             ({"requests": "nope"}, "non-empty"),
             ({"requests": [canonical] * (MAX_BATCH + 1)}, "exceeds"),
             ({"requests": [{"scale": "tiny"}]}, "requests[0]"),
+            ({"request": canonical, "deadline_ms": 0}, "deadline_ms"),
+            ({"request": canonical, "deadline_ms": -5}, "deadline_ms"),
+            ({"request": canonical, "deadline_ms": "soon"}, "deadline_ms"),
+            ({"request": canonical, "deadline_ms": True}, "deadline_ms"),
         ]:
             with pytest.raises(HTTPError) as excinfo:
                 parse_metrics_body(payload)
             assert excinfo.value.status == 400
             assert fragment in excinfo.value.message
-        requests, stream = parse_metrics_body(
+        requests, stream, deadline_ms = parse_metrics_body(
             {"requests": [canonical], "stream": True}
         )
         assert stream and requests[0].scenario_hash == (
             _request([2]).scenario_hash
         )
+        assert deadline_ms is None  # server default applies
+        _requests, _stream, deadline_ms = parse_metrics_body(
+            {"requests": [canonical], "deadline_ms": 1500}
+        )
+        assert deadline_ms == 1500
+
+    def test_idle_keep_alive_timeout_closes_connection(self):
+        """A keep-alive connection idle past the timeout is closed by
+        the server, so dangling clients cannot pin sockets forever."""
+        from repro.service import HTTPServer, Response, Router
+
+        async def ping(request):
+            return Response({"pong": True})
+
+        async def scenario():
+            router = Router()
+            router.add("GET", "/ping", ping)
+            server = HTTPServer(router, port=0, keep_alive_timeout=0.2)
+            await server.start()
+            client = await _Client(server.port).connect()
+            try:
+                status, reply = await client.request("GET", "/ping")
+                assert status == 200 and reply == {"pong": True}
+                assert server.connections == 1
+                # Idle past the timeout: the server hangs up cleanly.
+                assert await client.reader.read(1) == b""
+                for _ in range(40):
+                    if server.connections == 0:
+                        break
+                    await asyncio.sleep(0.05)
+                assert server.connections == 0
+            finally:
+                await client.close()
+                await server.stop()
+
+        asyncio.run(scenario())
 
     def test_wire_level_error_paths(self, tmp_path):
         """Malformed framing, handler crashes, and mid-stream failures

@@ -124,6 +124,30 @@ class TestConformance:
         reopened = backend(tmp_path / "cache")
         assert reopened.get(request.scenario_hash).value == new.value
 
+    def test_put_record_supersedes_an_already_read_record(
+        self, backend, tmp_path
+    ):
+        """Newest-wins must hold on the *same handle* even when the old
+        record was already read (and memoized) before the new one was
+        imported — a stale read-side memo must never shadow a later
+        ``put_record`` (regression: the sqlite backend served the
+        superseded record forever, which surfaced as job state updates
+        persisted through the service never becoming visible to
+        pollers of ``raw_record``)."""
+        rng = random.Random(13)
+        request = _request(0)
+        old, new = (_result(rng, request.pairs) for _ in range(2))
+        store = backend(tmp_path / "cache")
+        store.put(request, old)
+        # Read first: memoizes the old record on this handle.
+        assert store.get(request.scenario_hash).value == old.value
+        store.put_record(_build_record(request, new))
+        assert store.get(request.scenario_hash).value == new.value
+        assert (
+            store.raw_record(request.scenario_hash)["result"]
+            == result_to_record(new)
+        )
+
     def test_crc_corrupt_newest_falls_back_to_older(self, backend, tmp_path):
         """A CRC-corrupt newest record is *detected* and the older valid
         record it superseded is served instead."""
